@@ -1,0 +1,92 @@
+// Command gep-bench regenerates the tables and figures of the paper's
+// evaluation section (§4). Each experiment prints an aligned text
+// table plus the qualitative shape the paper reports, so results can
+// be compared directly against EXPERIMENTS.md.
+//
+// Usage:
+//
+//	gep-bench [-scale small|full] list
+//	gep-bench [-scale small|full] all
+//	gep-bench [-scale small|full] <experiment> [<experiment>...]
+//
+// Experiments: table1 table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12
+// ablation-base ablation-layout ablation-prune ablation-grain.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gep/internal/bench"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "small", "experiment size: small (seconds) or full (minutes)")
+	csvDir := flag.String("csv", "", "also write every table as CSV files into this directory")
+	flag.Usage = usage
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = bench.Small
+	case "full":
+		scale = bench.Full
+	default:
+		fmt.Fprintf(os.Stderr, "gep-bench: unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+
+	if args[0] == "list" {
+		for _, e := range bench.All() {
+			fmt.Printf("%-16s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	names := args
+	if args[0] == "all" {
+		names = nil
+		for _, e := range bench.All() {
+			names = append(names, e.Name)
+		}
+	}
+
+	failed := false
+	for _, name := range names {
+		e, ok := bench.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gep-bench: unknown experiment %q (try `gep-bench list`)\n", name)
+			failed = true
+			continue
+		}
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "gep-bench: %v\n", err)
+				os.Exit(1)
+			}
+			bench.SetCSVDir(*csvDir, e.Name)
+		}
+		fmt.Printf("=== %s: %s ===\n\n", e.Name, e.Title)
+		if err := e.Run(os.Stdout, scale); err != nil {
+			fmt.Fprintf(os.Stderr, "gep-bench: %s: %v\n", name, err)
+			failed = true
+		}
+		fmt.Println()
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: gep-bench [-scale small|full] list | all | <experiment>...")
+	flag.PrintDefaults()
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"gep/internal/linalg"
+)
+
+func TestLoadSystemRandom(t *testing.T) {
+	a, b, err := loadSystem(12, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 12 || len(b) != 12 {
+		t.Fatalf("shape %d / %d", a.N(), len(b))
+	}
+	// Diagonally dominant by construction: solvable without pivoting.
+	if linalg.NeedsPivoting(a, 16) {
+		t.Fatal("random system needs pivoting")
+	}
+}
+
+func TestLoadSystemStdin(t *testing.T) {
+	// Redirect stdin through a pipe.
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdin
+	os.Stdin = r
+	defer func() { os.Stdin = old }()
+	go func() {
+		w.WriteString("2\n4 1\n1 3\n5 4\n")
+		w.Close()
+	}()
+	a, b, err := loadSystem(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != 2 || a.At(0, 1) != 1 || b[1] != 4 {
+		t.Fatalf("parsed wrong: %v %v", a, b)
+	}
+}
+
+func TestLoadSystemErrors(t *testing.T) {
+	cases := []string{"", "0\n", "-3\n", "2\n1 2 3\n", "2\n1 2\n3 4\n5\n"}
+	for _, in := range cases {
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stdin
+		os.Stdin = r
+		go func(s string) {
+			w.WriteString(s)
+			w.Close()
+		}(in)
+		_, _, err = loadSystem(0, 0)
+		os.Stdin = old
+		if err == nil {
+			t.Errorf("loadSystem accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package gep_test
+
+import (
+	"fmt"
+	"math"
+
+	"gep"
+)
+
+func ExampleFloydWarshall() {
+	inf := math.Inf(1)
+	d := gep.FromRows([][]float64{
+		{0, 3, inf, 7},
+		{8, 0, 2, inf},
+		{5, inf, 0, 1},
+		{2, inf, inf, 0},
+	})
+	gep.FloydWarshall(d)
+	fmt.Println(d.At(0, 2), d.At(1, 3), d.At(3, 1))
+	// Output: 5 3 5
+}
+
+func ExampleSolve() {
+	a := gep.FromRows([][]float64{
+		{4, 1, 0},
+		{1, 5, 2},
+		{0, 2, 6},
+	})
+	x := gep.Solve(a, []float64{5, 8, 8})
+	fmt.Printf("%.0f %.0f %.0f\n", x[0], x[1], x[2])
+	// Output: 1 1 1
+}
+
+func ExampleGeneral() {
+	// The paper's §2.2.1 counterexample: f sums its operands, Σ is the
+	// full set. Plain I-GEP diverges from the loop nest; C-GEP
+	// (General) never does.
+	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	c := gep.FromRows([][]int64{{0, 0}, {0, 1}})
+	gep.General[int64](c, sum, gep.Full)
+	fmt.Println(c.At(1, 0))
+	// Output: 2
+}
+
+func ExampleIterative() {
+	// Count, per cell, how many updates the Gaussian set applies.
+	n := 4
+	c := gep.NewMatrix[int](n)
+	count := func(i, j, k int, x, u, v, w int) int { return x + 1 }
+	gep.Iterative[int](c, count, gep.GaussianSet)
+	// Cell (3,3) is updated for k = 0, 1, 2.
+	fmt.Println(c.At(3, 3), c.At(0, 0))
+	// Output: 3 0
+}
+
+func ExampleMultiply() {
+	a := gep.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := gep.FromRows([][]float64{{5, 6}, {7, 8}})
+	c := gep.NewMatrix[float64](2)
+	gep.Multiply(c, a, b)
+	fmt.Println(c.At(0, 0), c.At(1, 1))
+	// Output: 19 50
+}
+
+func ExampleTransitiveClosure() {
+	r := gep.NewMatrix[bool](4)
+	r.Set(0, 1, true)
+	r.Set(1, 2, true)
+	r.Set(2, 3, true)
+	gep.TransitiveClosure(r)
+	fmt.Println(r.At(0, 3), r.At(3, 0))
+	// Output: true false
+}
+
+func ExampleMatrixChain() {
+	cost, order := gep.MatrixChain([]int{10, 100, 5, 50})
+	fmt.Println(cost, order)
+	// Output: 7500 ((A0 A1) A2)
+}
+
+func ExampleCheckLegality() {
+	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	report := gep.CheckLegality(sum, gep.Full, 8, 5, 1, nil)
+	fmt.Println(report.Legal)
+	// Output: false
+}
+
+func ExampleDeterminant() {
+	a := gep.FromRows([][]float64{{6, 1}, {4, 2}})
+	fmt.Printf("%.0f\n", gep.Determinant(a))
+	// Output: 8
+}

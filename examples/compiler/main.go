@@ -1,0 +1,77 @@
+// Compiler-transformation demo (§2.3 of the paper): treat I-GEP and
+// C-GEP as cache-oblivious tiling transformations for GEP-shaped loop
+// nests. For each candidate loop nest, differentially test whether the
+// aggressive in-place I-GEP transformation is legal; apply it when it
+// is, and fall back to the always-legal C-GEP otherwise — exactly the
+// decision procedure an optimizing compiler could use.
+package main
+
+import (
+	"fmt"
+
+	"gep"
+)
+
+// loopNest is a candidate triply nested loop in GEP form.
+type loopNest struct {
+	name string
+	f    gep.UpdateFunc[int64]
+	set  gep.UpdateSet
+}
+
+func main() {
+	nests := []loopNest{
+		{
+			name: "floyd-warshall (min-plus, full set)",
+			f: func(i, j, k int, x, u, v, w int64) int64 {
+				if s := u + v; s < x {
+					return s
+				}
+				return x
+			},
+			set: gep.Full,
+		},
+		{
+			name: "gaussian elimination (x - u*v, k<i & k<j)",
+			f:    func(i, j, k int, x, u, v, w int64) int64 { return x - u*v },
+			set:  gep.GaussianSet,
+		},
+		{
+			name: "running sum (x+u+v+w, full set)",
+			f:    func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w },
+			set:  gep.Full,
+		},
+		{
+			name: "xor mix (x^u^v, predicate set)",
+			f:    func(i, j, k int, x, u, v, w int64) int64 { return x ^ u ^ v },
+			set:  gep.Predicate(func(i, j, k int) bool { return (i+j)%2 == k%2 }),
+		},
+	}
+
+	const n = 64
+	for _, nest := range nests {
+		report := gep.CheckLegality(nest.f, nest.set, 16, 8, 42, nil)
+		choice := "I-GEP (in-place, aggressive)"
+		if !report.Legal {
+			choice = "C-GEP (extra space, always legal)"
+		}
+		fmt.Printf("%-45s -> %s\n   evidence: %v\n", nest.name, choice, report)
+
+		// Execute with the chosen transformation and check against the
+		// reference loop nest.
+		in := gep.NewMatrix[int64](n)
+		in.Apply(func(i, j int, _ int64) int64 { return int64((i*37+j*11)%100 - 50) })
+		want := in.Clone()
+		gep.Iterative[int64](want, nest.f, nest.set)
+		got := in.Clone()
+		if report.Legal {
+			gep.CacheOblivious[int64](got, nest.f, nest.set, gep.WithBaseSize[int64](16))
+		} else {
+			gep.General[int64](got, nest.f, nest.set, gep.WithBaseSize[int64](16))
+		}
+		if !got.EqualFunc(want, func(a, b int64) bool { return a == b }) {
+			panic(nest.name + ": transformed loop diverged from reference!")
+		}
+		fmt.Printf("   transformed output == reference at n=%d ✓\n\n", n)
+	}
+}

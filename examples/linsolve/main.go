@@ -1,0 +1,71 @@
+// Solve a dense linear system A·x = b — a 1-D Poisson-style problem
+// with a dense coupling term, the kind of system direct solvers
+// target — using cache-oblivious LU decomposition, then verify the
+// residual and compare against the cache-aware tiled factorization.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"gep"
+	"gep/internal/linalg"
+)
+
+func main() {
+	const n = 500 // deliberately not a power of two; the API pads
+
+	// A = tridiagonal Poisson stencil + a small dense smoother; the
+	// result is strictly diagonally dominant, so elimination without
+	// pivoting is stable.
+	a := gep.NewMatrix[float64](n)
+	a.Apply(func(i, j int, _ float64) float64 {
+		switch {
+		case i == j:
+			return 4
+		case i == j+1 || j == i+1:
+			return -1
+		default:
+			return 1 / float64(n) / (1 + math.Abs(float64(i-j)))
+		}
+	})
+
+	// Manufactured solution: x*_i = sin(i/10), b = A·x*.
+	xStar := make([]float64, n)
+	for i := range xStar {
+		xStar[i] = math.Sin(float64(i) / 10)
+	}
+	b := linalg.MatVec(a, xStar)
+
+	// Factor + solve through the public API (A is overwritten with LU).
+	orig := a.Clone()
+	x := gep.Solve(a, b)
+
+	worst := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - xStar[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("n=%d dense system solved with cache-oblivious LU\n", n)
+	fmt.Printf("max |x - x*|          : %.3g\n", worst)
+	fmt.Printf("residual max|Ax-b|    : %.3g\n", linalg.Residual(orig, x, b))
+
+	// Cross-check: the cache-aware tiled factorization (the BLAS-style
+	// comparator from the paper's Figure 10) gives the same factors.
+	padded := gep.Pad(orig, 0, 1)
+	linalg.LUTiled(padded, 64)
+	tiled := gep.Crop(padded, n)
+	x2 := linalg.SolveLU(tiled, b)
+	diff := 0.0
+	for i := range x {
+		if d := math.Abs(x[i] - x2[i]); d > diff {
+			diff = d
+		}
+	}
+	fmt.Printf("cache-aware vs cache-oblivious solution gap: %.3g\n", diff)
+	if worst > 1e-8 || diff > 1e-8 {
+		panic("solver accuracy regression")
+	}
+	fmt.Println("ok ✓")
+}

@@ -1,0 +1,60 @@
+// Parallel demo: run multithreaded I-GEP (Figure 6 of the paper) on
+// goroutines, check it agrees with the serial recursion, and project
+// speedups for 1..8 processors by scheduling the real task DAG — the
+// reproduction of the paper's Figure 12 on arbitrary hardware.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"gep"
+	"gep/internal/linalg"
+	"gep/internal/sched"
+)
+
+func main() {
+	const n = 512
+
+	// Real goroutine execution: multiply two matrices serially and in
+	// parallel; results must be bitwise identical.
+	a := gep.NewMatrix[float64](n)
+	b := gep.NewMatrix[float64](n)
+	a.Apply(func(i, j int, _ float64) float64 { return float64((i+j)%17) / 16 })
+	b.Apply(func(i, j int, _ float64) float64 { return float64((i*3+j)%13) / 12 })
+
+	serial := gep.NewMatrix[float64](n)
+	t0 := time.Now()
+	linalg.MulIGEP(serial, a, b, 64)
+	ds := time.Since(t0)
+
+	par := gep.NewMatrix[float64](n)
+	t0 = time.Now()
+	linalg.MulIGEPParallel(par, a, b, 64, 128)
+	dp := time.Since(t0)
+
+	if !serial.EqualFunc(par, func(x, y float64) bool { return x == y }) {
+		panic("parallel result differs from serial")
+	}
+	fmt.Printf("matrix multiply n=%d on GOMAXPROCS=%d:\n", n, runtime.GOMAXPROCS(0))
+	fmt.Printf("  serial   %v\n  parallel %v  (identical results ✓)\n\n", ds, dp)
+
+	// DAG-level speedup projection (the Figure 12 reproduction): build
+	// the true task graph of each workload's recursion and schedule it
+	// greedily on p virtual processors.
+	fmt.Println("projected speedup from the Figure-6 task DAG (n=1024, grain=64):")
+	fmt.Printf("%-4s  %8s  %8s  %8s\n", "p", "MM", "FW", "GE")
+	curves := map[sched.Workload][]sched.Speedup{}
+	for _, w := range []sched.Workload{sched.MM, sched.FW, sched.GE} {
+		curves[w] = sched.SpeedupCurve(sched.BuildPlan(w, 1024, 64), []int{1, 2, 4, 8})
+	}
+	for idx, p := range []int{1, 2, 4, 8} {
+		fmt.Printf("%-4d  %8.2f  %8.2f  %8.2f\n", p,
+			curves[sched.MM][idx].Speedup,
+			curves[sched.FW][idx].Speedup,
+			curves[sched.GE][idx].Speedup)
+	}
+	fmt.Println("\n(the paper measured 6.0 / 5.73 / 5.33 at p=8 on an 8-way Opteron;")
+	fmt.Println(" MM parallelizes best because its disjoint recursion has span O(n))")
+}

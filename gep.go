@@ -1,0 +1,250 @@
+// Package gep is a cache-oblivious implementation of the Gaussian
+// Elimination Paradigm (GEP) of Chowdhury and Ramachandran — the
+// triply nested loop
+//
+//	for k, i, j:  if ⟨i,j,k⟩ ∈ Σ:  c[i,j] ← f(c[i,j], c[i,k], c[k,j], c[k,k])
+//
+// which covers Gaussian elimination and LU decomposition without
+// pivoting, Floyd-Warshall all-pairs shortest paths, matrix
+// multiplication, and many other dynamic programs.
+//
+// Three execution engines are provided:
+//
+//   - Iterative — the classic loop nest G: O(n³) time, O(n³/B) I/Os.
+//   - CacheOblivious — the I-GEP recursion F: O(n³) time, only
+//     O(n³/(B√M)) I/Os at every level of the memory hierarchy, without
+//     knowing M or B. Exact for the standard instances above, but not
+//     for arbitrary (f, Σ).
+//   - General — the C-GEP recursion H: the same bounds as I-GEP and
+//     guaranteed to match Iterative for every f and Σ, at the cost of
+//     extra space (4n², or 2n² with GeneralCompact).
+//
+// Parallel executes the multithreaded recursion of the paper
+// (span O(n log² n)); Multiply, FloydWarshall and Factorize expose the
+// tuned application kernels.
+//
+// Matrices are addressed through the Grid interface, so the same
+// engines run over in-core matrices, cache simulators and out-of-core
+// stores. The recursive engines require power-of-two side lengths; use
+// Pad to extend other sizes with a problem-neutral element.
+package gep
+
+import (
+	"gep/internal/apsp"
+	"gep/internal/core"
+	"gep/internal/dp"
+	"gep/internal/linalg"
+	"gep/internal/matrix"
+)
+
+// UpdateFunc is the GEP update f. It receives the indices ⟨i,j,k⟩ and
+// the values x = c[i,j], u = c[i,k], v = c[k,j], w = c[k,k], and
+// returns the new c[i,j]. It must be a pure function of its arguments.
+type UpdateFunc[T any] = core.UpdateFunc[T]
+
+// UpdateSet is the set Σ of updates to apply; see Full, GaussianSet,
+// LUSet, Predicate and Explicit.
+type UpdateSet = core.UpdateSet
+
+// Grid is the n×n element accessor the engines operate on.
+type Grid[T any] = matrix.Grid[T]
+
+// Matrix is the standard in-core row-major implementation of Grid.
+type Matrix[T any] = matrix.Dense[T]
+
+// Option configures the recursive engines; see WithBaseSize,
+// WithPrune and WithParallel.
+type Option[T any] = core.Option[T]
+
+// Standard update sets.
+var (
+	// Full contains every triple: Floyd-Warshall, matrix multiply.
+	Full core.Full
+	// GaussianSet is {k < i, k < j}: Gaussian elimination.
+	GaussianSet core.Gaussian
+	// LUSet is {k < i, k <= j}: LU decomposition with multipliers.
+	LUSet core.LU
+)
+
+// Predicate builds an UpdateSet from a membership function.
+func Predicate(pred func(i, j, k int) bool) UpdateSet {
+	return core.Predicate{Pred: pred}
+}
+
+// NewMatrix returns a zero-initialized n×n matrix.
+func NewMatrix[T any](n int) *Matrix[T] { return matrix.NewSquare[T](n) }
+
+// FromRows builds a matrix from rows, copying the data.
+func FromRows[T any](rows [][]T) *Matrix[T] { return matrix.FromRows(rows) }
+
+// Pad returns a copy of m extended to the next power-of-two side; new
+// off-diagonal cells hold fill and new diagonal cells hold diag.
+func Pad[T any](m *Matrix[T], fill, diag T) *Matrix[T] {
+	return matrix.PadPow2Diag(m, fill, diag)
+}
+
+// Crop returns the leading n×n corner of m as a fresh matrix.
+func Crop[T any](m *Matrix[T], n int) *Matrix[T] { return matrix.Crop(m, n) }
+
+// WithBaseSize sets the side at which the recursive engines switch to
+// an iterative kernel (the paper's empirically tuned base-size).
+func WithBaseSize[T any](b int) Option[T] { return core.WithBaseSize[T](b) }
+
+// WithPrune toggles the quadrant pruning test (default on).
+func WithPrune[T any](on bool) Option[T] { return core.WithPrune[T](on) }
+
+// WithParallel enables goroutine execution of Parallel's independent
+// recursive calls down to the given grain.
+func WithParallel[T any](grain int) Option[T] { return core.WithParallel[T](grain) }
+
+// Iterative runs the classic GEP loop nest (the paper's G).
+func Iterative[T any](c Grid[T], f UpdateFunc[T], set UpdateSet) {
+	core.RunGEP(c, f, set)
+}
+
+// CacheOblivious runs I-GEP (the paper's F): same updates as
+// Iterative, O(n³/(B√M)) I/Os, in place. Use it for the standard
+// instances (Floyd-Warshall, Gaussian elimination, LU, matrix
+// multiplication and friends); for arbitrary f and Σ use General.
+// The side must be a power of two.
+func CacheOblivious[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	core.RunIGEP(c, f, set, opts...)
+}
+
+// General runs C-GEP (the paper's H): cache-oblivious and guaranteed
+// to produce Iterative's output for every f and Σ, using 4n² extra
+// cells. The side must be a power of two.
+func General[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	core.RunCGEP(c, f, set, opts...)
+}
+
+// GeneralCompact is General with the reduced-space (2n²) scheme; it
+// trades re-initialization passes for memory.
+func GeneralCompact[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	core.RunCGEPCompact(c, f, set, opts...)
+}
+
+// GeneralParallel runs C-GEP over the multithreaded Figure-6 schedule
+// (§3: the parallel time bound of I-GEP applies to C-GEP too); combine
+// with WithParallel to enable goroutines. The unconditional-exactness
+// guarantee of General is preserved.
+func GeneralParallel[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	core.RunCGEPParallel(c, f, set, opts...)
+}
+
+// Parallel runs the multithreaded I-GEP recursion (the paper's
+// A/B/C/D functions). Combine with WithParallel to enable goroutines;
+// without it the call is equivalent to CacheOblivious.
+func Parallel[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	core.RunABCD(c, f, set, opts...)
+}
+
+// Multiply computes c += a·b with the cache-oblivious recursion over
+// disjoint matrices (span O(n) when parallel). Sides must be equal
+// powers of two.
+func Multiply(c, a, b *Matrix[float64]) {
+	linalg.MulIGEP(c, a, b, 64)
+}
+
+// MultiplyParallel is Multiply on goroutines.
+func MultiplyParallel(c, a, b *Matrix[float64]) {
+	linalg.MulIGEPParallel(c, a, b, 64, 128)
+}
+
+// FloydWarshall computes all-pairs shortest path distances in place:
+// d holds edge weights (+Inf for no edge, 0 diagonal) and is replaced
+// by shortest-path distances. Any side length is accepted.
+func FloydWarshall(d *Matrix[float64]) {
+	n := d.N()
+	if n == 0 {
+		return
+	}
+	if matrix.IsPow2(n) {
+		apsp.FWIGEPTiled(d, 64)
+		return
+	}
+	p := matrix.PadPow2Diag(d, apsp.Inf, 0)
+	apsp.FWIGEPTiled(p, 64)
+	d.CopyFrom(matrix.Crop(p, n))
+}
+
+// FloydWarshallParallel is FloydWarshall on goroutines (multithreaded
+// I-GEP with the Figure-6 schedule). The side must be a power of two.
+func FloydWarshallParallel(d *Matrix[float64]) {
+	apsp.FWParallel(d, 64, 128)
+}
+
+// Factorize performs in-place LU decomposition without pivoting
+// (L strictly below the diagonal with implicit unit diagonal, U on and
+// above). The matrix must be factorizable without pivoting; the side
+// must be a power of two (use Pad with diag 1 otherwise).
+func Factorize(a *Matrix[float64]) {
+	linalg.LUIGEP(a, 64)
+}
+
+// FactorizeParallel is Factorize on goroutines. The side must be a
+// power of two.
+func FactorizeParallel(a *Matrix[float64]) {
+	linalg.LUIGEPParallel(a, 64, 128)
+}
+
+// Solve solves A·x = b by cache-oblivious LU factorization followed by
+// forward and backward substitution; a is overwritten with its
+// factors. Any side length is accepted.
+func Solve(a *Matrix[float64], b []float64) []float64 {
+	n := a.N()
+	if matrix.IsPow2(n) {
+		linalg.LUIGEP(a, 64)
+		return linalg.SolveLU(a, b)
+	}
+	p := matrix.PadPow2Diag(a, 0, 1)
+	linalg.LUIGEP(p, 64)
+	lu := matrix.Crop(p, n)
+	a.CopyFrom(lu)
+	return linalg.SolveLU(lu, b)
+}
+
+// Invert returns A⁻¹ via cache-oblivious LU; a is not modified. The
+// matrix must be invertible without pivoting.
+func Invert(a *Matrix[float64]) *Matrix[float64] { return linalg.Invert(a) }
+
+// Determinant returns det(A) via cache-oblivious LU; a is not
+// modified.
+func Determinant(a *Matrix[float64]) float64 { return linalg.Determinant(a) }
+
+// TransitiveClosure computes graph reachability in place (Warshall's
+// algorithm — the boolean-semiring GEP instance): reach initially
+// holds edge presence; afterwards reach[i][j] reports whether j is
+// reachable from i. Any side length is accepted.
+func TransitiveClosure(reach *Matrix[bool]) { apsp.TransitiveClosure(reach) }
+
+// MatrixChain returns the minimal scalar-multiplication count and an
+// optimal parenthesization for multiplying matrices with the given
+// dimension vector (len(dims) = #matrices + 1) — the "simple-DP"
+// companion application, solved cache-obliviously.
+func MatrixChain(dims []int) (cost float64, order string) {
+	return dp.MatrixChainOrder(dims)
+}
+
+// GapCosts configures Align; see internal/dp for the recurrence.
+type GapCosts = dp.GapCosts
+
+// Align computes the alignment-cost table of two sequences of lengths
+// n and m under arbitrary gap costs, cache-obliviously; the total cost
+// is the bottom-right cell.
+func Align(n, m int, costs GapCosts) *Matrix[float64] {
+	return dp.AlignCacheOblivious(n, m, costs, 64)
+}
+
+// LegalityReport is the outcome of CheckLegality.
+type LegalityReport = core.LegalityReport
+
+// CheckLegality differentially tests whether plain I-GEP is a legal
+// transformation for the given (f, Σ) on random inputs (§2.3 of the
+// paper): a found counterexample is definitive evidence that General
+// must be used instead of CacheOblivious. gen may be nil for default
+// random inputs; supply one to restrict to the loop nest's real input
+// domain.
+func CheckLegality(f UpdateFunc[int64], set UpdateSet, maxN, trials int, seed int64, gen core.InputGen) LegalityReport {
+	return core.CheckIGEPLegality(f, set, maxN, trials, seed, gen)
+}

@@ -1,0 +1,3 @@
+module gep
+
+go 1.24

@@ -1,0 +1,48 @@
+package apsp
+
+import (
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+// Transitive closure (Warshall's algorithm): the boolean-semiring
+// instance of GEP with f = x ∨ (u ∧ v), another computation the
+// paradigm covers directly.
+
+// closureUpdate is Warshall's update over booleans.
+func closureUpdate(i, j, k int, x, u, v, w bool) bool { return x || (u && v) }
+
+// TransitiveClosure computes reachability in place: reach[i][j] must
+// initially hold edge presence (the diagonal is forced true). Any side
+// length is accepted; the computation is cache-oblivious.
+func TransitiveClosure(reach *matrix.Dense[bool]) {
+	n := reach.N()
+	if n == 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		reach.Set(i, i, true)
+	}
+	if matrix.IsPow2(n) {
+		core.RunIGEP[bool](reach, closureUpdate, core.Full{}, core.WithBaseSize[bool](64))
+		return
+	}
+	p := matrix.PadPow2(reach, false)
+	for i := n; i < p.N(); i++ {
+		p.Set(i, i, true)
+	}
+	core.RunIGEP[bool](p, closureUpdate, core.Full{}, core.WithBaseSize[bool](64))
+	reach.CopyFrom(p.Sub(0, 0, n, n))
+}
+
+// Reachability returns the closure matrix of g without modifying it.
+func (g *Graph) Reachability() *matrix.Dense[bool] {
+	r := matrix.NewSquare[bool](g.N)
+	for _, es := range g.Adj {
+		for _, e := range es {
+			r.Set(e.From, e.To, true)
+		}
+	}
+	TransitiveClosure(r)
+	return r
+}

@@ -1,0 +1,107 @@
+package apsp
+
+import (
+	"fmt"
+
+	"gep/internal/matrix"
+)
+
+// Dijkstra's algorithm with a hand-rolled binary heap, used as an
+// independent oracle to verify the Floyd-Warshall implementations
+// (different algorithm, different code path, same answers on
+// non-negative weights).
+
+// heapItem is a (vertex, distance) pair in the priority queue.
+type heapItem struct {
+	v    int
+	dist float64
+}
+
+// binHeap is a minimal binary min-heap specialized to heapItem; we
+// roll our own (rather than container/heap) to keep the oracle free of
+// interface indirection and to exercise it with its own tests.
+type binHeap struct {
+	items []heapItem
+}
+
+func (h *binHeap) len() int { return len(h.items) }
+
+func (h *binHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *binHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < last && h.items[l].dist < h.items[smallest].dist {
+			smallest = l
+		}
+		if r < last && h.items[r].dist < h.items[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// Dijkstra returns single-source shortest path distances from src.
+// All edge weights must be non-negative.
+func Dijkstra(g *Graph, src int) []float64 {
+	if src < 0 || src >= g.N {
+		panic(fmt.Sprintf("apsp: source %d out of range n=%d", src, g.N))
+	}
+	dist := make([]float64, g.N)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	done := make([]bool, g.N)
+	h := &binHeap{}
+	h.push(heapItem{src, 0})
+	for h.len() > 0 {
+		it := h.pop()
+		if done[it.v] {
+			continue
+		}
+		done[it.v] = true
+		for _, e := range g.Adj[it.v] {
+			if e.Weight < 0 {
+				panic("apsp: Dijkstra requires non-negative weights")
+			}
+			if nd := it.dist + e.Weight; nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(heapItem{e.To, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairsDijkstra runs Dijkstra from every source — the O(nm log n)
+// oracle for the Floyd-Warshall tests and benchmarks.
+func AllPairsDijkstra(g *Graph) *matrix.Dense[float64] {
+	d := matrix.NewSquare[float64](g.N)
+	for s := 0; s < g.N; s++ {
+		copy(d.Row(s), Dijkstra(g, s))
+	}
+	return d
+}

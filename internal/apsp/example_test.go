@@ -1,0 +1,62 @@
+package apsp_test
+
+import (
+	"fmt"
+
+	"gep/internal/apsp"
+)
+
+func ExampleSolve() {
+	g := apsp.NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(0, 3, 10)
+	d := apsp.Solve(g, 2)
+	fmt.Println(d.At(0, 3))
+	// Output: 6
+}
+
+func ExamplePath() {
+	g := apsp.NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(2, 3, 3)
+	g.AddEdge(0, 3, 10)
+	d := apsp.Solve(g, 2)
+	fmt.Println(apsp.Path(g, d, 0, 3))
+	// Output: [0 1 2 3]
+}
+
+func ExampleGraph_Reachability() {
+	g := apsp.NewGraph(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	r := g.Reachability()
+	fmt.Println(r.At(0, 2), r.At(2, 0))
+	// Output: true false
+}
+
+func ExampleJohnson() {
+	g := apsp.NewGraph(3)
+	g.AddEdge(0, 1, 4)
+	g.AddEdge(1, 2, -2) // negative edge, no negative cycle
+	g.AddEdge(0, 2, 5)
+	d, err := apsp.Johnson(g)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(d.At(0, 2))
+	// Output: 2
+}
+
+func ExampleGraph_SCC() {
+	g := apsp.NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 0, 1) // {0,1} cyclic
+	g.AddEdge(1, 2, 1)
+	g.AddEdge(3, 2, 1)
+	fmt.Println(g.SCC())
+	// Output: [0 0 1 2]
+}

@@ -1,0 +1,208 @@
+package apsp
+
+import (
+	"fmt"
+	"sync"
+
+	"gep/internal/matrix"
+)
+
+// Floyd-Warshall in the paper's compared forms. All operate in place
+// on a distance matrix as produced by Graph.DistanceMatrix. The update
+// set is Full and f is min-plus: d[i][j] = min(d[i][j], d[i][k]+d[k][j]).
+
+// FWFlops returns the operation count (one add + one compare per
+// update) used as the figure-of-merit denominator.
+func FWFlops(n int) float64 { return 2 * float64(n) * float64(n) * float64(n) }
+
+// FWGEP is the classic iterative Floyd-Warshall — the GEP baseline of
+// Figure 8, with rows hoisted into slices (the "reasonably optimized"
+// version the paper compares against).
+func FWGEP(d *matrix.Dense[float64]) {
+	n := d.N()
+	for k := 0; k < n; k++ {
+		dk := d.Row(k)
+		for i := 0; i < n; i++ {
+			di := d.Row(i)
+			dik := di[k]
+			if dik == Inf {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if t := dik + dk[j]; t < di[j] {
+					di[j] = t
+				}
+			}
+		}
+	}
+}
+
+// FWGEPPure is the unoptimized triple loop without the row/constant
+// hoisting or the Inf skip — the fully naive baseline.
+func FWGEPPure(d *matrix.Dense[float64]) {
+	n := d.N()
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if t := d.At(i, k) + d.At(k, j); t < d.At(i, j) {
+					d.Set(i, j, t)
+				}
+			}
+		}
+	}
+}
+
+// FWIGEP is cache-oblivious Floyd-Warshall: the I-GEP recursion with a
+// G-order iterative kernel at base×base blocks. n must be a power of
+// two (pad with matrix.PadPow2Diag(d, Inf, 0) otherwise).
+func FWIGEP(d *matrix.Dense[float64], base int) {
+	n := d.N()
+	if n == 0 {
+		return
+	}
+	if !matrix.IsPow2(n) {
+		panic(fmt.Sprintf("apsp: FWIGEP needs power-of-two n, got %d", n))
+	}
+	if base < 1 {
+		base = 1
+	}
+	fwRec(d, 0, 0, 0, n, base, 0)
+}
+
+// FWParallel is multithreaded I-GEP Floyd-Warshall (the A/B/C/D
+// parallel structure of Figure 6) spawning goroutines down to grain.
+func FWParallel(d *matrix.Dense[float64], base, grain int) {
+	n := d.N()
+	if n == 0 {
+		return
+	}
+	if !matrix.IsPow2(n) {
+		panic(fmt.Sprintf("apsp: FWParallel needs power-of-two n, got %d", n))
+	}
+	if base < 1 {
+		base = 1
+	}
+	if grain < base {
+		grain = base
+	}
+	fwRec(d, 0, 0, 0, n, base, grain)
+}
+
+// fwRec is the Floyd-Warshall-specialized I-GEP recursion; grain = 0
+// runs serially.
+func fwRec(d *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
+	if s <= base {
+		fwKernel(d, xi, xj, k0, s)
+		return
+	}
+	h := s / 2
+	par := grain > 0 && s > grain
+	run2 := func(f1, f2 func()) {
+		if !par {
+			f1()
+			f2()
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); f1() }()
+		f2()
+		wg.Wait()
+	}
+	run4 := func(fs ...func()) {
+		if !par {
+			for _, f := range fs {
+				f()
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(fs) - 1)
+		for _, f := range fs[:len(fs)-1] {
+			f := f
+			go func() { defer wg.Done(); f() }()
+		}
+		fs[len(fs)-1]()
+		wg.Wait()
+	}
+	iK, jK := xi == k0, xj == k0
+	switch {
+	case iK && jK: // A
+		fwRec(d, xi, xj, k0, h, base, grain)
+		run2(func() { fwRec(d, xi, xj+h, k0, h, base, grain) },
+			func() { fwRec(d, xi+h, xj, k0, h, base, grain) })
+		fwRec(d, xi+h, xj+h, k0, h, base, grain)
+		fwRec(d, xi+h, xj+h, k0+h, h, base, grain)
+		run2(func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) },
+			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) })
+		fwRec(d, xi, xj, k0+h, h, base, grain)
+	case iK: // B
+		run2(func() { fwRec(d, xi, xj, k0, h, base, grain) },
+			func() { fwRec(d, xi, xj+h, k0, h, base, grain) })
+		run2(func() { fwRec(d, xi+h, xj, k0, h, base, grain) },
+			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain) })
+		run2(func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) },
+			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain) })
+		run2(func() { fwRec(d, xi, xj, k0+h, h, base, grain) },
+			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) })
+	case jK: // C
+		run2(func() { fwRec(d, xi, xj, k0, h, base, grain) },
+			func() { fwRec(d, xi+h, xj, k0, h, base, grain) })
+		run2(func() { fwRec(d, xi, xj+h, k0, h, base, grain) },
+			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain) })
+		run2(func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) },
+			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain) })
+		run2(func() { fwRec(d, xi, xj, k0+h, h, base, grain) },
+			func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) })
+	default: // D
+		run4(func() { fwRec(d, xi, xj, k0, h, base, grain) },
+			func() { fwRec(d, xi, xj+h, k0, h, base, grain) },
+			func() { fwRec(d, xi+h, xj, k0, h, base, grain) },
+			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain) })
+		run4(func() { fwRec(d, xi, xj, k0+h, h, base, grain) },
+			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) },
+			func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) },
+			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain) })
+	}
+}
+
+// fwKernel applies the block's min-plus updates in G order.
+func fwKernel(d *matrix.Dense[float64], xi, xj, k0, s int) {
+	for k := k0; k < k0+s; k++ {
+		dk := d.Row(k)[xj : xj+s]
+		for i := xi; i < xi+s; i++ {
+			di := d.Row(i)
+			dik := di[k]
+			if dik == Inf {
+				continue
+			}
+			dij := di[xj : xj+s]
+			for j, dkj := range dk {
+				if t := dik + dkj; t < dij[j] {
+					dij[j] = t
+				}
+			}
+		}
+	}
+}
+
+// Solve computes all-pairs shortest path distances for g with
+// cache-oblivious Floyd-Warshall, handling non-power-of-two sizes by
+// padding. base <= 0 selects a reasonable default kernel size.
+func Solve(g *Graph, base int) *matrix.Dense[float64] {
+	if base <= 0 {
+		base = 32
+	}
+	d := g.DistanceMatrix()
+	n := g.N
+	if n == 0 {
+		return d
+	}
+	if matrix.IsPow2(n) {
+		FWIGEP(d, base)
+		return d
+	}
+	p := matrix.PadPow2Diag(d, Inf, 0)
+	FWIGEP(p, base)
+	return matrix.Crop(p, n)
+}

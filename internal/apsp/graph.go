@@ -1,0 +1,128 @@
+// Package apsp implements all-pairs shortest paths: the paper's §4.1
+// workload. It provides Floyd-Warshall in the three compared forms
+// (iterative GEP, cache-oblivious I-GEP, and parallel I-GEP), graph
+// generation and I/O, an independent Dijkstra oracle for verification,
+// and path reconstruction.
+package apsp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"gep/internal/matrix"
+)
+
+// Inf is the "no path" distance.
+var Inf = math.Inf(1)
+
+// Edge is a directed weighted edge.
+type Edge struct {
+	From, To int
+	Weight   float64
+}
+
+// Graph is a directed weighted graph in adjacency-list form.
+type Graph struct {
+	N     int
+	Adj   [][]Edge // Adj[u] lists edges leaving u
+	edges int
+}
+
+// NewGraph returns an empty graph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{N: n, Adj: make([][]Edge, n)}
+}
+
+// AddEdge inserts a directed edge; negative weights are allowed (the
+// Floyd-Warshall algorithms handle them as long as no negative cycle
+// exists), but the Dijkstra oracle requires non-negative weights.
+func (g *Graph) AddEdge(u, v int, w float64) {
+	if u < 0 || u >= g.N || v < 0 || v >= g.N {
+		panic(fmt.Sprintf("apsp: edge (%d,%d) out of range n=%d", u, v, g.N))
+	}
+	g.Adj[u] = append(g.Adj[u], Edge{From: u, To: v, Weight: w})
+	g.edges++
+}
+
+// Edges returns the number of edges.
+func (g *Graph) Edges() int { return g.edges }
+
+// Random returns a G(n, p) directed graph with integer weights in
+// [1, maxW]; integer weights keep min-plus arithmetic exact in float64,
+// so all algorithm variants agree bitwise.
+func Random(n int, p float64, maxW int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Float64() < p {
+				g.AddEdge(u, v, float64(rng.Intn(maxW)+1))
+			}
+		}
+	}
+	return g
+}
+
+// DistanceMatrix returns the n×n initial distance matrix: 0 on the
+// diagonal, edge weights (minimum over parallel edges) elsewhere, Inf
+// where no edge exists.
+func (g *Graph) DistanceMatrix() *matrix.Dense[float64] {
+	d := matrix.NewSquare[float64](g.N)
+	d.Fill(Inf)
+	for i := 0; i < g.N; i++ {
+		d.Set(i, i, 0)
+	}
+	for _, es := range g.Adj {
+		for _, e := range es {
+			if e.Weight < d.At(e.From, e.To) {
+				d.Set(e.From, e.To, e.Weight)
+			}
+		}
+	}
+	return d
+}
+
+// ParseEdgeList reads a graph from "u v w" lines (0-based vertices);
+// the first line must be "n m" with the vertex and edge counts.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var n, m int
+	if _, err := fmt.Fscan(br, &n, &m); err != nil {
+		return nil, fmt.Errorf("apsp: reading header: %w", err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("apsp: bad header n=%d m=%d", n, m)
+	}
+	g := NewGraph(n)
+	for i := 0; i < m; i++ {
+		var u, v int
+		var w float64
+		if _, err := fmt.Fscan(br, &u, &v, &w); err != nil {
+			return nil, fmt.Errorf("apsp: reading edge %d: %w", i, err)
+		}
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("apsp: edge %d (%d,%d) out of range", i, u, v)
+		}
+		g.AddEdge(u, v, w)
+	}
+	return g, nil
+}
+
+// WriteEdgeList writes the graph in the ParseEdgeList format.
+func (g *Graph) WriteEdgeList(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N, g.edges); err != nil {
+		return err
+	}
+	for _, es := range g.Adj {
+		for _, e := range es {
+			if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.From, e.To, e.Weight); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}

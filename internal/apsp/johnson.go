@@ -1,0 +1,104 @@
+package apsp
+
+import (
+	"errors"
+
+	"gep/internal/matrix"
+)
+
+// Johnson's algorithm: all-pairs shortest paths on sparse graphs with
+// negative edge weights (no negative cycles) via Bellman-Ford
+// reweighting plus Dijkstra from every source. It serves as the
+// independent oracle for Floyd-Warshall on negative-weight inputs,
+// where plain Dijkstra does not apply.
+
+// ErrNegativeCycle is returned when a negative-weight cycle makes
+// shortest paths undefined.
+var ErrNegativeCycle = errors.New("apsp: negative cycle")
+
+// BellmanFord computes single-source distances from src, supporting
+// negative weights; it returns ErrNegativeCycle when one is reachable.
+func BellmanFord(g *Graph, src int) ([]float64, error) {
+	n := g.N
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Inf
+	}
+	dist[src] = 0
+	for round := 0; round < n-1; round++ {
+		changed := false
+		for _, es := range g.Adj {
+			for _, e := range es {
+				if dist[e.From] == Inf {
+					continue
+				}
+				if nd := dist[e.From] + e.Weight; nd < dist[e.To] {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// One more relaxation detects negative cycles.
+	for _, es := range g.Adj {
+		for _, e := range es {
+			if dist[e.From] != Inf && dist[e.From]+e.Weight < dist[e.To] {
+				return nil, ErrNegativeCycle
+			}
+		}
+	}
+	return dist, nil
+}
+
+// Johnson returns the all-pairs distance matrix of g, allowing
+// negative edge weights (no negative cycles).
+func Johnson(g *Graph) (*matrix.Dense[float64], error) {
+	n := g.N
+	// Augment with a virtual source connected to every vertex by a
+	// zero edge, and Bellman-Ford from it to get the potentials h.
+	aug := NewGraph(n + 1)
+	for _, es := range g.Adj {
+		for _, e := range es {
+			aug.AddEdge(e.From, e.To, e.Weight)
+		}
+	}
+	for v := 0; v < n; v++ {
+		aug.AddEdge(n, v, 0)
+	}
+	h, err := BellmanFord(aug, n)
+	if err != nil {
+		return nil, err
+	}
+	// Reweight: w'(u,v) = w(u,v) + h[u] - h[v] >= 0.
+	rw := NewGraph(n)
+	for _, es := range g.Adj {
+		for _, e := range es {
+			rw.AddEdge(e.From, e.To, e.Weight+h[e.From]-h[e.To])
+		}
+	}
+	// Dijkstra from every source on the reweighted graph, then undo
+	// the potentials.
+	d := matrix.NewSquare[float64](n)
+	for s := 0; s < n; s++ {
+		ds := Dijkstra(rw, s)
+		row := d.Row(s)
+		for v := 0; v < n; v++ {
+			if ds[v] == Inf {
+				row[v] = Inf
+			} else {
+				row[v] = ds[v] - h[s] + h[v]
+			}
+		}
+	}
+	return d, nil
+}
+
+// HasNegativeCycle reports whether g contains a reachable
+// negative-weight cycle (from any vertex).
+func HasNegativeCycle(g *Graph) bool {
+	_, err := Johnson(g)
+	return errors.Is(err, ErrNegativeCycle)
+}

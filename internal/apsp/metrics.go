@@ -1,0 +1,52 @@
+package apsp
+
+import "gep/internal/matrix"
+
+// Graph metrics derived from the all-pairs distance matrix: the kind
+// of downstream analysis the APSP computation exists to feed.
+
+// Eccentricities returns, per vertex, the greatest finite distance to
+// any reachable vertex (Inf if some vertex is unreachable).
+func Eccentricities(d *matrix.Dense[float64]) []float64 {
+	n := d.N()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		worst := 0.0
+		row := d.Row(i)
+		for j, v := range row {
+			if i == j {
+				continue
+			}
+			if v > worst {
+				worst = v
+			}
+		}
+		out[i] = worst
+	}
+	return out
+}
+
+// DiameterRadius returns the largest and smallest eccentricities over
+// vertices with finite eccentricity; both are Inf for a graph where
+// every vertex misses someone (e.g. no edges, n > 1).
+func DiameterRadius(d *matrix.Dense[float64]) (diameter, radius float64) {
+	ecc := Eccentricities(d)
+	diameter, radius = 0, Inf
+	finite := false
+	for _, e := range ecc {
+		if e == Inf {
+			continue
+		}
+		finite = true
+		if e > diameter {
+			diameter = e
+		}
+		if e < radius {
+			radius = e
+		}
+	}
+	if !finite {
+		return Inf, Inf
+	}
+	return diameter, radius
+}

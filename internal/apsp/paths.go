@@ -1,0 +1,61 @@
+package apsp
+
+import (
+	"gep/internal/matrix"
+)
+
+// Path reconstruction. The distance-only Floyd-Warshall variants do
+// not carry successor information, so paths are rebuilt from the
+// distance matrix and the graph: from u toward v, repeatedly follow an
+// edge (u, x) with w(u,x) + d(x,v) == d(u,v). With exact (integer)
+// weights this recovers a shortest path without having stored one.
+
+// Path returns a shortest u→v path as a vertex sequence (inclusive),
+// or nil if v is unreachable from u. d must be the APSP distance
+// matrix of g.
+func Path(g *Graph, d *matrix.Dense[float64], u, v int) []int {
+	if d.At(u, v) == Inf {
+		return nil
+	}
+	path := []int{u}
+	cur := u
+	// A shortest path visits each vertex at most once, bounding the
+	// loop; the guard protects against inconsistent inputs.
+	for steps := 0; cur != v; steps++ {
+		if steps > g.N {
+			return nil // d is not a valid distance matrix for g
+		}
+		next := -1
+		for _, e := range g.Adj[cur] {
+			if e.Weight+d.At(e.To, v) == d.At(cur, v) {
+				next = e.To
+				break
+			}
+		}
+		if next == -1 {
+			return nil
+		}
+		path = append(path, next)
+		cur = next
+	}
+	return path
+}
+
+// PathWeight sums the weights along a vertex sequence, returning Inf
+// if some hop has no edge (minimum-weight parallel edge is used).
+func (g *Graph) PathWeight(path []int) float64 {
+	total := 0.0
+	for i := 0; i+1 < len(path); i++ {
+		best := Inf
+		for _, e := range g.Adj[path[i]] {
+			if e.To == path[i+1] && e.Weight < best {
+				best = e.Weight
+			}
+		}
+		if best == Inf {
+			return Inf
+		}
+		total += best
+	}
+	return total
+}

@@ -1,0 +1,67 @@
+package apsp
+
+import "gep/internal/matrix"
+
+// Strongly connected components from the transitive closure: u and v
+// are in the same SCC iff each reaches the other. Quadratic-space but
+// a natural consumer of the cache-oblivious closure, and an
+// independent cross-check target for Tarjan-style algorithms.
+
+// SCC returns a component ID per vertex (IDs are dense, in order of
+// first appearance) computed from the cache-oblivious transitive
+// closure.
+func (g *Graph) SCC() []int {
+	r := g.Reachability()
+	return sccFromClosure(r)
+}
+
+func sccFromClosure(r *matrix.Dense[bool]) []int {
+	n := r.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	for u := 0; u < n; u++ {
+		if comp[u] >= 0 {
+			continue
+		}
+		comp[u] = next
+		for v := u + 1; v < n; v++ {
+			if comp[v] < 0 && r.At(u, v) && r.At(v, u) {
+				comp[v] = next
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// CondensationDAG returns the component count and the edges of the
+// condensation (one edge per reachable ordered component pair that has
+// a direct edge in g).
+func (g *Graph) CondensationDAG() (int, [][2]int) {
+	comp := g.SCC()
+	max := -1
+	for _, c := range comp {
+		if c > max {
+			max = c
+		}
+	}
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	for _, es := range g.Adj {
+		for _, e := range es {
+			cu, cv := comp[e.From], comp[e.To]
+			if cu == cv {
+				continue
+			}
+			key := [2]int{cu, cv}
+			if !seen[key] {
+				seen[key] = true
+				edges = append(edges, key)
+			}
+		}
+	}
+	return max + 1, edges
+}

@@ -1,0 +1,206 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation section (§4) as textual tables.
+// Each experiment is a named function over an io.Writer plus a Scale
+// knob; cmd/gep-bench exposes them as subcommands and the root
+// bench_test.go wires them into `go test -bench`.
+//
+// The EXPERIMENTS.md file at the repository root records, for each
+// experiment, the paper's reported numbers next to ours and the
+// expected qualitative shape.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale selects experiment sizes. Small finishes in seconds (CI and
+// `go test -bench`); Full takes minutes and approaches the paper's
+// regime as closely as one container allows.
+type Scale int
+
+const (
+	// Small is the quick-run preset.
+	Small Scale = iota
+	// Full is the paper-regime preset.
+	Full
+)
+
+// Experiment is one regenerable table or figure.
+type Experiment struct {
+	// Name is the subcommand, e.g. "fig8".
+	Name string
+	// Title describes the paper artifact reproduced.
+	Title string
+	// Run writes the regenerated rows to w.
+	Run func(w io.Writer, scale Scale) error
+}
+
+var registry = map[string]Experiment{}
+
+// Register adds an experiment; duplicate names panic at init time.
+func Register(e Experiment) {
+	if _, dup := registry[e.Name]; dup {
+		panic("bench: duplicate experiment " + e.Name)
+	}
+	registry[e.Name] = e
+}
+
+// Get returns a registered experiment.
+func Get(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns the experiments sorted by name.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// csvSink, when set, receives a CSV copy of every table rendered by
+// WriteTo — the plot-ready artifact trail. See SetCSVDir.
+var csvSink struct {
+	dir     string
+	exp     string
+	counter int
+}
+
+// SetCSVDir enables CSV mirroring of all tables into dir (empty
+// disables); exp names the current experiment for file naming.
+func SetCSVDir(dir, exp string) {
+	csvSink.dir = dir
+	csvSink.exp = exp
+	csvSink.counter = 0
+}
+
+// Table renders aligned columns: the first row is the header.
+type Table struct {
+	rows [][]string
+}
+
+// Header sets the column names.
+func (t *Table) Header(cols ...string) { t.rows = append(t.rows, cols) }
+
+// Row appends a data row; values are formatted with %v, and float64s
+// get four significant decimals.
+func (t *Table) Row(vals ...interface{}) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case time.Duration:
+			row[i] = x.Round(10 * time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// WriteCSV renders the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// mirrorCSV writes the table to the configured CSV sink, if any.
+func (t *Table) mirrorCSV() {
+	if csvSink.dir == "" {
+		return
+	}
+	csvSink.counter++
+	name := fmt.Sprintf("%s-%d.csv", csvSink.exp, csvSink.counter)
+	f, err := os.Create(filepath.Join(csvSink.dir, name))
+	if err != nil {
+		return // CSV mirroring is best-effort
+	}
+	defer f.Close()
+	_ = t.WriteCSV(f)
+}
+
+// WriteTo renders the table (and mirrors it to the CSV sink when one
+// is configured with SetCSVDir).
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	t.mirrorCSV()
+	widths := map[int]int{}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var total int64
+	for ri, row := range t.rows {
+		var sb strings.Builder
+		for i, cell := range row {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(row)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+		n, err := io.WriteString(w, sb.String())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+		if ri == 0 {
+			sep := strings.Repeat("-", len(strings.TrimRight(sb.String(), "\n")))
+			n, err = io.WriteString(w, sep+"\n")
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// TimeIt runs f once and returns its wall-clock duration.
+func TimeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// TimeBest runs f reps times and returns the fastest duration —
+// the standard noise-resistant measurement.
+func TimeBest(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		if d := TimeIt(f); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// GFLOPS converts an operation count and duration to 10⁹ ops/second.
+func GFLOPS(flops float64, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return flops / d.Seconds() / 1e9
+}

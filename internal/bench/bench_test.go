@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig7a", "fig7b", "fig8", "fig9",
+		"fig10", "fig11", "fig12",
+		"ablation-base", "ablation-layout", "ablation-prune", "ablation-grain",
+		"lemma31", "bounds",
+	}
+	for _, name := range want {
+		if _, ok := Get(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	var tab Table
+	tab.Header("a", "bb")
+	tab.Row(1, 2.5)
+	tab.Row("xyz", time.Millisecond)
+	var buf bytes.Buffer
+	if _, err := tab.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "a") || !strings.Contains(lines[0], "bb") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(out, "2.5") || !strings.Contains(out, "1ms") {
+		t.Fatalf("formatting wrong:\n%s", out)
+	}
+}
+
+func TestPeakPositive(t *testing.T) {
+	if p := PeakGFLOPS(); p <= 0 {
+		t.Fatalf("peak = %g", p)
+	}
+	h := Host()
+	if h.CPUs < 1 || h.GoVersion == "" {
+		t.Fatalf("bad host info: %+v", h)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	d := TimeBest(3, func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond/2 {
+		t.Fatalf("TimeBest = %v", d)
+	}
+	if g := GFLOPS(2e9, time.Second); g != 2 {
+		t.Fatalf("GFLOPS = %g", g)
+	}
+	if g := GFLOPS(1, 0); g != 0 {
+		t.Fatalf("GFLOPS at zero duration = %g", g)
+	}
+}
+
+// TestTheoryExperimentsRun executes the cheap experiments end to end;
+// the expensive figures are exercised by the root bench_test.go under
+// -bench and smoke-tested here at Small scale where fast enough.
+func TestTheoryExperimentsRun(t *testing.T) {
+	for _, name := range []string{"table1", "table2"} {
+		e, _ := Get(name)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, Small); err != nil {
+			t.Fatalf("%s: %v\n%s", name, err, buf.String())
+		}
+		if buf.Len() == 0 {
+			t.Fatalf("%s produced no output", name)
+		}
+	}
+}
+
+func TestFig7SmokeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, name := range []string{"fig7a", "fig7b"} {
+		e, _ := Get(name)
+		var buf bytes.Buffer
+		if err := e.Run(&buf, Small); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := buf.String()
+		if !strings.Contains(out, "GEP") || !strings.Contains(out, "I-GEP") {
+			t.Fatalf("%s output missing algorithms:\n%s", name, out)
+		}
+	}
+}
+
+func TestFig12SmokeSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, _ := Get("fig12")
+	var buf bytes.Buffer
+	if err := e.Run(&buf, Small); err != nil {
+		t.Fatalf("fig12: %v", err)
+	}
+	for _, want := range []string{"MM", "FW", "GE", "span"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("fig12 output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Register(Experiment{Name: "table1"})
+}
+
+func TestWriteCSVAndSink(t *testing.T) {
+	var tab Table
+	tab.Header("a", "b")
+	tab.Row(1, "x,y") // comma needs quoting
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "a,b\n1,\"x,y\"\n" {
+		t.Fatalf("csv = %q", got)
+	}
+
+	dir := t.TempDir()
+	SetCSVDir(dir, "exp")
+	defer SetCSVDir("", "")
+	var out bytes.Buffer
+	if _, err := tab.WriteTo(&out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dir + "/exp-1.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,\"x,y\"\n" {
+		t.Fatalf("mirrored csv = %q", data)
+	}
+}

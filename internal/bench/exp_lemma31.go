@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gep/internal/sched"
+)
+
+func init() {
+	Register(Experiment{
+		Name:  "lemma31",
+		Title: "Lemmas 3.1/3.2: parallel cache complexity under distributed and shared caches",
+		Run:   runLemma31,
+	})
+}
+
+// runLemma31 replays the greedy parallel schedule of multithreaded
+// I-GEP through tile-granularity caches: one private cache per
+// processor (Lemma 3.1's distributed setting) and one cache shared by
+// all processors (Lemma 3.2). The paper's claims, in simulation form:
+// distributed Q_p exceeds Q_1 by a bounded overhead term, and a shared
+// cache of unchanged size keeps Q_p = O(Q_1).
+func runLemma31(w io.Writer, scale Scale) error {
+	n, grain := 256, 16
+	if scale == Full {
+		n, grain = 1024, 32
+	}
+	const cacheTiles = 32
+	fmt.Fprintf(w, "Tile-level cache replay of the parallel schedule (n=%d, grain=%d,\n", n, grain)
+	fmt.Fprintf(w, "cache = %d tiles; one tile = one base-case block = the √M working set):\n\n", cacheTiles)
+
+	var t Table
+	t.Header("workload", "p", "Q_p greedy", "Q_p worksteal", "steals", "Q_p shared", "shared/Q_1")
+	for _, wl := range []sched.Workload{sched.FW, sched.GE, sched.MM} {
+		tp := sched.BuildTiledPlan(wl, n, grain)
+		q1s := sched.SharedMisses(tp, 1, cacheTiles)
+		for _, p := range []int{1, 2, 4, 8} {
+			qd := sched.DistributedMisses(tp, p, cacheTiles)
+			ws := sched.ScheduleWorkStealing(tp, p, 1)
+			qws := sched.DistributedMissesWS(tp, p, cacheTiles, 1)
+			qs := sched.SharedMisses(tp, p, cacheTiles)
+			t.Row(wl.String(), p, qd, qws, ws.Steals, qs, float64(qs)/float64(q1s))
+		}
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nExpected shape (paper §3.1): distributed Q_p stays within a modest")
+	fmt.Fprintln(w, "factor of Q_1 under both the greedy schedule (Lemma 3.1(b)'s")
+	fmt.Fprintln(w, "deterministic schedule) and randomized work stealing (Lemma 3.1(a)'s")
+	fmt.Fprintln(w, "Cilk model); with a shared cache of unchanged size Q_p stays within a")
+	fmt.Fprintln(w, "constant factor of Q_1 (Lemma 3.2).")
+	return nil
+}

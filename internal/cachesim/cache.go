@@ -1,0 +1,230 @@
+// Package cachesim is an ideal-cache-model simulator: it counts the
+// block transfers (I/Os) an address trace incurs on a configurable
+// cache hierarchy. It stands in for the Cachegrind profiler the paper
+// uses (§4): cache-miss counts on a deterministic trace are themselves
+// deterministic, so the simulated counts reproduce the paper's
+// miss-count comparisons exactly in shape.
+//
+// The ideal-cache model assumes an optimal offline replacement policy;
+// following standard practice (Frigo et al., FOCS'99) the simulator
+// uses LRU, which is within a constant factor of optimal for
+// algorithms with regular reuse and is what real hardware approximates.
+// Both fully associative and set-associative geometries are supported,
+// so the paper's concrete L1 (8 KB, 4-way, B = 64 B) and L2 (512 KB,
+// 8-way, B = 64 B) can be modeled as well as the abstract (M, B)
+// ideal cache.
+package cachesim
+
+import "fmt"
+
+// Cache simulates one level: capacity bytes, block (line) size bytes,
+// and associativity (ways per set; Assoc <= 0 means fully associative).
+type Cache struct {
+	Name      string
+	Capacity  int64
+	BlockSize int64
+	Assoc     int
+
+	sets     []lruSet
+	setShift uint  // log2(BlockSize)
+	setMask  int64 // numSets - 1
+
+	accesses int64
+	misses   int64
+}
+
+// Stats reports the access and miss counters of one cache level.
+type Stats struct {
+	Name     string
+	Accesses int64
+	Misses   int64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d accesses, %d misses (%.4f%%)",
+		s.Name, s.Accesses, s.Misses, 100*s.MissRate())
+}
+
+// New returns a cache with the given geometry. capacity and block must
+// be powers of two with block <= capacity; assoc <= 0 selects full
+// associativity.
+func New(name string, capacity, block int64, assoc int) *Cache {
+	if capacity <= 0 || block <= 0 || capacity%block != 0 {
+		panic(fmt.Sprintf("cachesim: bad geometry M=%d B=%d", capacity, block))
+	}
+	lines := capacity / block
+	if assoc <= 0 || int64(assoc) > lines {
+		assoc = int(lines)
+	}
+	numSets := lines / int64(assoc)
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cachesim: number of sets %d not a power of two", numSets))
+	}
+	shift := uint(0)
+	for 1<<shift < block {
+		shift++
+	}
+	if 1<<shift != block {
+		panic(fmt.Sprintf("cachesim: block size %d not a power of two", block))
+	}
+	c := &Cache{
+		Name:      name,
+		Capacity:  capacity,
+		BlockSize: block,
+		Assoc:     assoc,
+		sets:      make([]lruSet, numSets),
+		setShift:  shift,
+		setMask:   numSets - 1,
+	}
+	for i := range c.sets {
+		c.sets[i].init(assoc)
+	}
+	return c
+}
+
+// Access simulates one access to the byte address addr; it returns
+// true on a miss (block transfer from the next level).
+func (c *Cache) Access(addr int64) bool {
+	c.accesses++
+	blockID := addr >> c.setShift
+	set := &c.sets[blockID&c.setMask]
+	if set.touch(blockID) {
+		return false
+	}
+	c.misses++
+	set.insert(blockID)
+	return true
+}
+
+// Stats returns the current counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Name: c.Name, Accesses: c.accesses, Misses: c.misses}
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	c.accesses, c.misses = 0, 0
+	for i := range c.sets {
+		c.sets[i].init(c.Assoc)
+	}
+}
+
+// lruSet is one associativity set with move-to-front LRU. Small sets
+// (hardware-like associativities) use a linear scan over a tag slice;
+// large sets (fully associative ideal caches) use a map plus an
+// intrusive doubly linked list.
+type lruSet struct {
+	ways int
+	// Small-set representation: tags in MRU-first order.
+	tags []int64
+	// Large-set representation.
+	index      map[int64]*lruNode
+	head, tail *lruNode
+}
+
+type lruNode struct {
+	tag        int64
+	prev, next *lruNode
+}
+
+// mapThreshold is the associativity above which the map representation
+// is used.
+const mapThreshold = 64
+
+func (s *lruSet) init(ways int) {
+	s.ways = ways
+	if ways <= mapThreshold {
+		s.tags = s.tags[:0]
+		if s.tags == nil {
+			s.tags = make([]int64, 0, ways)
+		}
+		s.index, s.head, s.tail = nil, nil, nil
+		return
+	}
+	s.tags = nil
+	s.index = make(map[int64]*lruNode, ways)
+	s.head, s.tail = nil, nil
+}
+
+// touch returns true and promotes the tag to MRU if present.
+func (s *lruSet) touch(tag int64) bool {
+	if s.index == nil {
+		for i, t := range s.tags {
+			if t == tag {
+				copy(s.tags[1:i+1], s.tags[:i])
+				s.tags[0] = tag
+				return true
+			}
+		}
+		return false
+	}
+	n, ok := s.index[tag]
+	if !ok {
+		return false
+	}
+	s.moveToFront(n)
+	return true
+}
+
+// insert adds a missing tag as MRU, evicting the LRU entry if full.
+func (s *lruSet) insert(tag int64) {
+	if s.index == nil {
+		if len(s.tags) >= s.ways {
+			s.tags = s.tags[:s.ways-1] // drop LRU (last)
+		}
+		s.tags = append(s.tags, 0)
+		copy(s.tags[1:], s.tags[:len(s.tags)-1])
+		s.tags[0] = tag
+		return
+	}
+	if len(s.index) >= s.ways {
+		// Evict LRU (tail).
+		old := s.tail
+		s.unlink(old)
+		delete(s.index, old.tag)
+	}
+	n := &lruNode{tag: tag}
+	s.index[tag] = n
+	s.pushFront(n)
+}
+
+func (s *lruSet) moveToFront(n *lruNode) {
+	if s.head == n {
+		return
+	}
+	s.unlink(n)
+	s.pushFront(n)
+}
+
+func (s *lruSet) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *lruSet) pushFront(n *lruNode) {
+	n.next = s.head
+	if s.head != nil {
+		s.head.prev = n
+	}
+	s.head = n
+	if s.tail == nil {
+		s.tail = n
+	}
+}

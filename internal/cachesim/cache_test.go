@@ -1,0 +1,240 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+func TestColdMisses(t *testing.T) {
+	c := New("t", 1024, 64, 0)
+	// First touch of each block misses; repeat hits.
+	for rep := 0; rep < 3; rep++ {
+		for addr := int64(0); addr < 1024; addr += 64 {
+			c.Access(addr)
+		}
+	}
+	s := c.Stats()
+	if s.Accesses != 48 {
+		t.Fatalf("accesses = %d, want 48", s.Accesses)
+	}
+	if s.Misses != 16 {
+		t.Fatalf("misses = %d, want 16 (cold only)", s.Misses)
+	}
+}
+
+func TestSequentialScanMisses(t *testing.T) {
+	// Scanning N bytes with line size B incurs exactly N/B misses
+	// regardless of M — the O(n/B) scanning bound.
+	c := New("t", 4096, 64, 0)
+	const n = 1 << 20
+	for addr := int64(0); addr < n; addr++ {
+		c.Access(addr)
+	}
+	if got, want := c.Stats().Misses, int64(n/64); got != want {
+		t.Fatalf("scan misses = %d, want %d", got, want)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Fully associative, 2 lines of 64 bytes. Access A, B, C: C evicts
+	// A (LRU). Then A misses again, evicting B.
+	c := New("t", 128, 64, 0)
+	a, b, cc := int64(0), int64(64), int64(128)
+	for _, addr := range []int64{a, b, cc, a, b} {
+		c.Access(addr)
+	}
+	// misses: a(cold) b(cold) c(cold) a(evicted) b(evicted) = 5
+	if got := c.Stats().Misses; got != 5 {
+		t.Fatalf("misses = %d, want 5", got)
+	}
+	// LRU promotion: a,b,a then c: c should evict b, not a.
+	c.Reset()
+	for _, addr := range []int64{a, b, a, cc, a} {
+		c.Access(addr)
+	}
+	// misses: a, b, c = 3; final a hits.
+	if got := c.Stats().Misses; got != 3 {
+		t.Fatalf("with promotion: misses = %d, want 3", got)
+	}
+}
+
+func TestSetAssociativeConflicts(t *testing.T) {
+	// Direct-mapped (assoc 1) cache, 2 sets of 64B: addresses 0 and 128
+	// map to set 0 and evict each other; address 64 maps to set 1.
+	c := New("t", 128, 64, 1)
+	for rep := 0; rep < 4; rep++ {
+		c.Access(0)
+		c.Access(128)
+	}
+	if got := c.Stats().Misses; got != 8 {
+		t.Fatalf("conflict misses = %d, want 8 (ping-pong)", got)
+	}
+	c.Access(64)
+	c.Access(64)
+	if got := c.Stats().Misses; got != 9 {
+		t.Fatalf("misses = %d, want 9", got)
+	}
+}
+
+func TestFullyAssociativeNoConflicts(t *testing.T) {
+	// The same ping-pong working set fits a fully associative cache.
+	c := New("t", 128, 64, 0)
+	for rep := 0; rep < 4; rep++ {
+		c.Access(0)
+		c.Access(128)
+	}
+	if got := c.Stats().Misses; got != 2 {
+		t.Fatalf("misses = %d, want 2 (cold only)", got)
+	}
+}
+
+// refLRU is a deliberately naive reference LRU used to validate both
+// internal set representations.
+type refLRU struct {
+	ways int
+	mru  []int64 // MRU first
+}
+
+func (r *refLRU) access(block int64) bool {
+	for i, t := range r.mru {
+		if t == block {
+			copy(r.mru[1:i+1], r.mru[:i])
+			r.mru[0] = block
+			return false // hit
+		}
+	}
+	if len(r.mru) >= r.ways {
+		r.mru = r.mru[:r.ways-1]
+	}
+	r.mru = append([]int64{block}, r.mru...)
+	return true // miss
+}
+
+// TestBothRepresentationsMatchReference drives the slice-based LRU
+// (ways <= 64) and the map-based LRU (ways > 64) with random traces
+// and compares every access outcome against the naive reference.
+func TestBothRepresentationsMatchReference(t *testing.T) {
+	for _, ways := range []int{2, 8, 64, 128, 512} {
+		c := New("t", int64(ways)*64, 64, 0) // fully associative, `ways` lines
+		ref := &refLRU{ways: ways}
+		rng := rand.New(rand.NewSource(int64(ways)))
+		for i := 0; i < 20000; i++ {
+			addr := int64(rng.Intn(4*ways)) * 64
+			got := c.Access(addr)
+			want := ref.access(addr >> 6)
+			if got != want {
+				t.Fatalf("ways=%d access %d: miss=%v, reference says %v", ways, i, got, want)
+			}
+		}
+	}
+}
+
+func TestHierarchyInclusion(t *testing.T) {
+	h := NewHierarchy(
+		New("L1", 128, 64, 0),
+		New("L2", 1024, 64, 0),
+	)
+	// Working set of 4 lines: thrashes L1 (2 lines), fits L2.
+	for rep := 0; rep < 10; rep++ {
+		for a := int64(0); a < 256; a += 64 {
+			h.Access(a)
+		}
+	}
+	l1, l2 := h.Level(0), h.Level(1)
+	if l1.Misses != 40 {
+		t.Fatalf("L1 misses = %d, want 40 (thrash)", l1.Misses)
+	}
+	if l2.Misses != 4 {
+		t.Fatalf("L2 misses = %d, want 4 (cold only)", l2.Misses)
+	}
+	if l2.Accesses != l1.Misses {
+		t.Fatalf("L2 accesses (%d) != L1 misses (%d)", l2.Accesses, l1.Misses)
+	}
+}
+
+func TestTracedGridCountsAccesses(t *testing.T) {
+	h := IdealCache(1024, 64)
+	m := matrix.NewSquare[float64](8)
+	tg := NewTraced[float64](m, h, RowMajor, 0)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			tg.Set(i, j, 1)
+			_ = tg.At(i, j)
+		}
+	}
+	if got := h.Level(0).Accesses; got != 128 {
+		t.Fatalf("accesses = %d, want 128", got)
+	}
+	// 8x8 float64 = 512 bytes = 8 lines: cold misses only.
+	if got := h.Level(0).Misses; got != 8 {
+		t.Fatalf("misses = %d, want 8", got)
+	}
+	if m.At(3, 3) != 1 {
+		t.Fatal("traced write did not reach inner grid")
+	}
+}
+
+func TestMortonTiledLayoutDistinctAndDense(t *testing.T) {
+	idx := MortonTiled(4)(16)
+	seen := make(map[int64]bool)
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			z := idx(i, j)
+			if z < 0 || z >= 256 {
+				t.Fatalf("index out of range: %d", z)
+			}
+			if seen[z] {
+				t.Fatalf("duplicate index %d", z)
+			}
+			seen[z] = true
+		}
+	}
+}
+
+// TestIGEPBeatsGEPOnIdealCache is the headline qualitative result:
+// on the same ideal cache, I-GEP's misses are far below GEP's
+// (O(n³/(B√M)) vs O(n³/B)).
+func TestIGEPBeatsGEPOnIdealCache(t *testing.T) {
+	const n = 64
+	fw := func(i, j, k int, x, u, v, w int64) int64 {
+		if d := u + v; d < x {
+			return d
+		}
+		return x
+	}
+	run := func(algo func(g matrix.Grid[int64])) int64 {
+		h := IdealCache(4096, 64) // M = 4 KB, B = 64 B: 8 lines... 64 lines
+		m := matrix.NewSquare[int64](n)
+		m.Apply(func(i, j int, _ int64) int64 { return int64((i*7+j*13)%100 + 1) })
+		g := NewTraced[int64](m, h, RowMajor, 0)
+		algo(g)
+		return h.Level(0).Misses
+	}
+	gepMisses := run(func(g matrix.Grid[int64]) { core.RunGEP[int64](g, fw, core.Full{}) })
+	igepMisses := run(func(g matrix.Grid[int64]) { core.RunIGEP[int64](g, fw, core.Full{}) })
+	if igepMisses*2 >= gepMisses {
+		t.Fatalf("I-GEP misses (%d) not well below GEP misses (%d)", igepMisses, gepMisses)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New("x", 100, 64, 0) },  // capacity not multiple of block
+		func() { New("x", 0, 64, 0) },    // zero capacity
+		func() { New("x", 1024, 0, 0) },  // zero block
+		func() { New("x", 192, 64, 1) },  // 3 sets: not a power of two
+		func() { New("x", 1024, 48, 0) }, // block not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,78 @@
+package cachesim
+
+// Hierarchy chains cache levels: an access that misses level i
+// proceeds to level i+1 (inclusive hierarchy, as Cachegrind models).
+type Hierarchy struct {
+	Levels []*Cache
+}
+
+// NewHierarchy builds a hierarchy from first (fastest) to last.
+func NewHierarchy(levels ...*Cache) *Hierarchy {
+	return &Hierarchy{Levels: levels}
+}
+
+// IdealCache returns a single-level fully associative hierarchy with
+// the given M and B — the ideal-cache model of the paper.
+func IdealCache(m, b int64) *Hierarchy {
+	return NewHierarchy(New("ideal", m, b, 0))
+}
+
+// Pentium4Xeon models the paper's Intel P4 Xeon: 8 KB 4-way L1 and
+// 512 KB 8-way L2, both with 64-byte lines (Table 2).
+func Pentium4Xeon() *Hierarchy {
+	return NewHierarchy(
+		New("L1", 8<<10, 64, 4),
+		New("L2", 512<<10, 64, 8),
+	)
+}
+
+// Opteron models the paper's AMD Opteron 250/850: 64 KB 2-way L1 and
+// 1 MB 8-way L2, 64-byte lines (Table 2).
+func Opteron() *Hierarchy {
+	return NewHierarchy(
+		New("L1", 64<<10, 64, 2),
+		New("L2", 1<<20, 64, 8),
+	)
+}
+
+// Scaled returns a two-level fully associative hierarchy with the
+// given capacities — the ideal-cache model at reduced size, so that
+// small simulation matrices exercise the same capacity ratios as the
+// paper's full-size runs. (Full associativity avoids the power-of-two
+// row-stride conflict artifacts that set-associative geometries
+// inject at small n; use Pentium4Xeon/Opteron for hardware-faithful
+// associativity.)
+func Scaled(l1, l2 int64, line int64) *Hierarchy {
+	return NewHierarchy(
+		New("L1", l1, line, 0),
+		New("L2", l2, line, 0),
+	)
+}
+
+// Access simulates one access at the byte address addr.
+func (h *Hierarchy) Access(addr int64) {
+	for _, c := range h.Levels {
+		if !c.Access(addr) {
+			return // hit at this level
+		}
+	}
+}
+
+// Stats returns per-level counters, fastest first.
+func (h *Hierarchy) Stats() []Stats {
+	out := make([]Stats, len(h.Levels))
+	for i, c := range h.Levels {
+		out[i] = c.Stats()
+	}
+	return out
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.Levels {
+		c.Reset()
+	}
+}
+
+// Level returns the stats of level i (0 = fastest).
+func (h *Hierarchy) Level(i int) Stats { return h.Levels[i].Stats() }

@@ -1,0 +1,167 @@
+package cachesim
+
+import "container/heap"
+
+// Offline optimal (Belady/MIN) replacement. The ideal-cache model of
+// the paper assumes an optimal offline policy; the online simulator
+// uses LRU (a constant-factor substitute per the standard
+// resource-augmentation argument). This file provides the genuine
+// article for validation: record a trace, then replay it evicting the
+// block whose next use is farthest in the future.
+
+// TraceRecorder captures raw byte addresses for offline simulation.
+type TraceRecorder struct {
+	addrs []int64
+}
+
+// Access records one access.
+func (t *TraceRecorder) Access(addr int64) { t.addrs = append(t.addrs, addr) }
+
+// Len returns the number of recorded accesses.
+func (t *TraceRecorder) Len() int { return len(t.addrs) }
+
+// Addrs returns the recorded addresses.
+func (t *TraceRecorder) Addrs() []int64 { return t.addrs }
+
+// RecordingGrid adapts a TraceRecorder to the same role as Traced: it
+// records instead of simulating, so one run can feed many replays.
+type RecordingGrid[T any] struct {
+	inner interface {
+		N() int
+		At(i, j int) T
+		Set(i, j int, v T)
+	}
+	rec   *TraceRecorder
+	index func(i, j int) int64
+	base  int64
+}
+
+// NewRecording wraps a grid with address recording.
+func NewRecording[T any](inner interface {
+	N() int
+	At(i, j int) T
+	Set(i, j int, v T)
+}, rec *TraceRecorder, layout func(n int) func(i, j int) int64, base int64) *RecordingGrid[T] {
+	return &RecordingGrid[T]{inner: inner, rec: rec, index: layout(inner.N()), base: base}
+}
+
+// N implements matrix.Grid.
+func (g *RecordingGrid[T]) N() int { return g.inner.N() }
+
+// At implements matrix.Grid.
+func (g *RecordingGrid[T]) At(i, j int) T {
+	g.rec.Access(g.base + g.index(i, j)*ElemSize8)
+	return g.inner.At(i, j)
+}
+
+// Set implements matrix.Grid.
+func (g *RecordingGrid[T]) Set(i, j int, v T) {
+	g.rec.Access(g.base + g.index(i, j)*ElemSize8)
+	g.inner.Set(i, j, v)
+}
+
+// SimulateLRU replays a trace on a fully associative LRU cache of
+// capacity m and block size b, returning the miss count.
+func SimulateLRU(addrs []int64, m, b int64) int64 {
+	c := New("replay", m, b, 0)
+	var misses int64
+	for _, a := range addrs {
+		if c.Access(a) {
+			misses++
+		}
+	}
+	return misses
+}
+
+// SimulateOptimal replays a trace under Belady's MIN policy on a fully
+// associative cache of capacity m and block size b, returning the
+// (provably minimal) miss count.
+func SimulateOptimal(addrs []int64, m, b int64) int64 {
+	lines := int(m / b)
+	if lines < 1 {
+		panic("cachesim: cache smaller than one line")
+	}
+	shift := uint(0)
+	for int64(1)<<shift < b {
+		shift++
+	}
+	if int64(1)<<shift != b {
+		panic("cachesim: block size not a power of two")
+	}
+	n := len(addrs)
+	blocks := make([]int64, n)
+	for i, a := range addrs {
+		blocks[i] = a >> shift
+	}
+	// nextUse[i] = index of the next access to blocks[i] after i
+	// (n if none).
+	nextUse := make([]int, n)
+	last := make(map[int64]int, lines*4)
+	for i := n - 1; i >= 0; i-- {
+		if nx, ok := last[blocks[i]]; ok {
+			nextUse[i] = nx
+		} else {
+			nextUse[i] = n
+		}
+		last[blocks[i]] = i
+	}
+
+	resident := make(map[int64]bool, lines)
+	// Max-heap of (nextUse, block) for resident blocks; entries may be
+	// stale (lazy deletion via the current map).
+	h := &useHeap{}
+	current := make(map[int64]int, lines) // block -> its live next-use
+	var misses int64
+	for i := 0; i < n; i++ {
+		blk := blocks[i]
+		if resident[blk] {
+			current[blk] = nextUse[i]
+			heap.Push(h, useEntry{nextUse[i], blk})
+			continue
+		}
+		misses++
+		if len(resident) >= lines {
+			// Evict the resident block with the farthest next use.
+			for {
+				top := heap.Pop(h).(useEntry)
+				if resident[top.block] && current[top.block] == top.next {
+					delete(resident, top.block)
+					delete(current, top.block)
+					break
+				}
+			}
+		}
+		resident[blk] = true
+		current[blk] = nextUse[i]
+		heap.Push(h, useEntry{nextUse[i], blk})
+	}
+	return misses
+}
+
+type useEntry struct {
+	next  int
+	block int64
+}
+
+type useHeap []useEntry
+
+func (h useHeap) Len() int            { return len(h) }
+func (h useHeap) Less(i, j int) bool  { return h[i].next > h[j].next } // max-heap
+func (h useHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *useHeap) Push(x interface{}) { *h = append(*h, x.(useEntry)) }
+func (h *useHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TLB returns a cache modeling a translation lookaside buffer:
+// `entries` fully associative page translations of the given page
+// size. TLB pressure is the paper's stated reason for the
+// bit-interleaved layout (§4.2): Morton-contiguous blocks touch far
+// fewer distinct pages per base case.
+func TLB(entries int, pageSize int64) *Cache {
+	return New("TLB", int64(entries)*pageSize, pageSize, 0)
+}

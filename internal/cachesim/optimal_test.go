@@ -1,0 +1,117 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+func TestOptimalHandTrace(t *testing.T) {
+	// Two-line cache, blocks A B C (64-byte strided). Trace:
+	// A B C A B — LRU: A B C(evict A) A(evict B) B(evict C) = 5 misses.
+	// OPT: on C's miss evict B (used later than... next uses: A at 3,
+	// B at 4 → evict B), then A hits, B misses = 4 misses.
+	trace := []int64{0, 64, 128, 0, 64}
+	if got := SimulateLRU(trace, 128, 64); got != 5 {
+		t.Fatalf("LRU misses = %d, want 5", got)
+	}
+	if got := SimulateOptimal(trace, 128, 64); got != 4 {
+		t.Fatalf("OPT misses = %d, want 4", got)
+	}
+}
+
+func TestOptimalNeverWorseThanLRU(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 20; trial++ {
+		n := 2000
+		span := int64(rng.Intn(60) + 4)
+		trace := make([]int64, n)
+		for i := range trace {
+			trace[i] = int64(rng.Intn(int(span))) * 64
+		}
+		m := int64(rng.Intn(16)+2) * 64
+		lru := SimulateLRU(trace, m, 64)
+		opt := SimulateOptimal(trace, m, 64)
+		if opt > lru {
+			t.Fatalf("trial %d: OPT (%d) > LRU (%d)", trial, opt, lru)
+		}
+		// Cold misses are a common lower bound.
+		distinct := map[int64]bool{}
+		for _, a := range trace {
+			distinct[a>>6] = true
+		}
+		if opt < int64(len(distinct)) {
+			t.Fatalf("OPT (%d) below cold misses (%d)", opt, len(distinct))
+		}
+	}
+}
+
+// TestIdealCacheLRUWithinConstantOfOPT validates the simulator's core
+// modeling assumption on a real algorithm trace: LRU misses on I-GEP
+// are within a small constant of Belady's optimal at the same size
+// (the Sleator-Tarjan/FOCS'99 justification for simulating the ideal
+// cache with LRU).
+func TestIdealCacheLRUWithinConstantOfOPT(t *testing.T) {
+	const n = 32
+	rec := &TraceRecorder{}
+	m := matrix.NewSquare[int64](n)
+	m.Apply(func(i, j int, _ int64) int64 { return int64((i*7+j)%50 + 1) })
+	g := NewRecording[int64](m, rec, RowMajor, 0)
+	fw := func(i, j, k int, x, u, v, w int64) int64 {
+		if s := u + v; s < x {
+			return s
+		}
+		return x
+	}
+	core.RunIGEP[int64](g, fw, core.Full{})
+
+	for _, cache := range []int64{1024, 4096} {
+		lru := SimulateLRU(rec.Addrs(), cache, 64)
+		opt := SimulateOptimal(rec.Addrs(), cache, 64)
+		if opt == 0 {
+			t.Fatal("degenerate trace")
+		}
+		if ratio := float64(lru) / float64(opt); ratio > 4 {
+			t.Fatalf("M=%d: LRU/OPT = %.2f, want small constant", cache, ratio)
+		}
+	}
+}
+
+func TestTLBLayoutEffect(t *testing.T) {
+	// The paper's §4.2 motivation: Morton-tiled base blocks touch far
+	// fewer pages, so the recursion incurs fewer TLB misses than the
+	// same recursion over a row-major layout.
+	const n = 128
+	run := func(layout func(n int) func(i, j int) int64) int64 {
+		tlb := TLB(16, 4096) // deliberately small TLB
+		m := matrix.NewSquare[int64](n)
+		h := NewHierarchy(tlb)
+		g := NewTraced[int64](m, h, layout, 0)
+		fw := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+		core.RunIGEP[int64](g, fw, core.Full{}, core.WithBaseSize[int64](32))
+		return tlb.Stats().Misses
+	}
+	rowMajor := run(RowMajor)
+	morton := run(MortonTiled(32))
+	if morton*2 >= rowMajor {
+		t.Fatalf("Morton TLB misses (%d) not well below row-major (%d)", morton, rowMajor)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { SimulateOptimal([]int64{0}, 32, 64) },  // cache < 1 line
+		func() { SimulateOptimal([]int64{0}, 128, 48) }, // non-pow2 block
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

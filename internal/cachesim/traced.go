@@ -1,0 +1,109 @@
+package cachesim
+
+import (
+	"gep/internal/matrix"
+)
+
+// Layout maps a cell (i, j) of an n×n matrix to its element index in
+// memory order; the traced grid multiplies by the element size to get
+// byte addresses. The two layouts the paper compares are provided.
+type Layout func(n int) func(i, j int) int64
+
+// RowMajor is the standard C layout.
+func RowMajor(n int) func(i, j int) int64 {
+	return func(i, j int) int64 { return int64(i)*int64(n) + int64(j) }
+}
+
+// MortonTiled is the paper's bit-interleaved layout (§4.2): block×block
+// tiles in Morton order of tile coordinates, row-major inside tiles.
+func MortonTiled(block int) Layout {
+	return func(n int) func(i, j int) int64 {
+		t := matrix.NewTiled[struct{}](max64(n, block), block)
+		return func(i, j int) int64 { return int64(t.Index(i, j)) }
+	}
+}
+
+func max64(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Traced wraps a Grid so every element access is simulated on a cache
+// hierarchy. Distinct matrices sharing one hierarchy should use
+// distinct base addresses (see NextBase).
+type Traced[T any] struct {
+	inner    matrix.Grid[T]
+	h        *Hierarchy
+	index    func(i, j int) int64
+	base     int64
+	elemSize int64
+}
+
+// ElemSize8 is the element size used for all traces (float64/int64).
+const ElemSize8 = 8
+
+// NewTraced wraps inner with address tracing on hierarchy h, placing
+// the matrix at the given base byte address with the given layout.
+func NewTraced[T any](inner matrix.Grid[T], h *Hierarchy, layout func(n int) func(i, j int) int64, base int64) *Traced[T] {
+	return &Traced[T]{
+		inner:    inner,
+		h:        h,
+		index:    layout(inner.N()),
+		base:     base,
+		elemSize: ElemSize8,
+	}
+}
+
+// NextBase returns a base address suitable for a matrix placed after
+// one of side n at the given base (block-aligned with a guard page, so
+// two matrices never share a cache line).
+func NextBase(base int64, n int) int64 {
+	sz := int64(n)*int64(n)*ElemSize8 + 4096
+	return base + (sz+4095)&^4095
+}
+
+// N implements matrix.Grid.
+func (t *Traced[T]) N() int { return t.inner.N() }
+
+// At implements matrix.Grid, recording a read.
+func (t *Traced[T]) At(i, j int) T {
+	t.h.Access(t.base + t.index(i, j)*t.elemSize)
+	return t.inner.At(i, j)
+}
+
+// Set implements matrix.Grid, recording a write.
+func (t *Traced[T]) Set(i, j int, v T) {
+	t.h.Access(t.base + t.index(i, j)*t.elemSize)
+	t.inner.Set(i, j, v)
+}
+
+// TracedRect is the Rect counterpart, used for C-GEP's aux matrices.
+type TracedRect[T any] struct {
+	inner    matrix.Rect[T]
+	h        *Hierarchy
+	cols     int64
+	base     int64
+	elemSize int64
+}
+
+// NewTracedRect wraps a rows×cols Rect in row-major address tracing.
+func NewTracedRect[T any](inner matrix.Rect[T], h *Hierarchy, cols int, base int64) *TracedRect[T] {
+	return &TracedRect[T]{inner: inner, h: h, cols: int64(cols), base: base, elemSize: ElemSize8}
+}
+
+// At implements matrix.Rect.
+func (t *TracedRect[T]) At(i, j int) T {
+	t.h.Access(t.base + (int64(i)*t.cols+int64(j))*t.elemSize)
+	return t.inner.At(i, j)
+}
+
+// Set implements matrix.Rect.
+func (t *TracedRect[T]) Set(i, j int, v T) {
+	t.h.Access(t.base + (int64(i)*t.cols+int64(j))*t.elemSize)
+	t.inner.Set(i, j, v)
+}
+
+var _ matrix.Grid[float64] = (*Traced[float64])(nil)
+var _ matrix.Rect[float64] = (*TracedRect[float64])(nil)

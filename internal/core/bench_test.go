@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gep/internal/matrix"
+)
+
+// Generic-engine benchmarks: these measure the interface-dispatch
+// engines (the paper's framework itself); the tuned per-application
+// kernels live in internal/linalg and internal/apsp.
+
+const benchN = 128
+
+func benchFWMatrix() *matrix.Dense[float64] {
+	rng := rand.New(rand.NewSource(1))
+	m := matrix.NewSquare[float64](benchN)
+	m.Apply(func(i, j int, _ float64) float64 {
+		if i == j {
+			return 0
+		}
+		return float64(rng.Intn(1000) + 1)
+	})
+	return m
+}
+
+func benchMinPlus(i, j, k int, x, u, v, w float64) float64 {
+	if s := u + v; s < x {
+		return s
+	}
+	return x
+}
+
+func benchEngine(b *testing.B, run func(m *matrix.Dense[float64])) {
+	b.Helper()
+	in := benchFWMatrix()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := in.Clone()
+		b.StartTimer()
+		run(m)
+	}
+}
+
+func BenchmarkEngineGEP(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) { RunGEP[float64](m, benchMinPlus, Full{}) })
+}
+
+func BenchmarkEngineIGEP(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) {
+		RunIGEP[float64](m, benchMinPlus, Full{}, WithBaseSize[float64](32))
+	})
+}
+
+func BenchmarkEngineIGEPBase1(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) { RunIGEP[float64](m, benchMinPlus, Full{}) })
+}
+
+func BenchmarkEngineCGEP(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) {
+		RunCGEP[float64](m, benchMinPlus, Full{}, WithBaseSize[float64](32))
+	})
+}
+
+func BenchmarkEngineCGEPCompact(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) {
+		RunCGEPCompact[float64](m, benchMinPlus, Full{}, WithBaseSize[float64](32))
+	})
+}
+
+func BenchmarkEngineABCD(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) {
+		RunABCD[float64](m, benchMinPlus, Full{}, WithBaseSize[float64](32))
+	})
+}
+
+func BenchmarkEngineABCDParallel(b *testing.B) {
+	benchEngine(b, func(m *matrix.Dense[float64]) {
+		RunABCD[float64](m, benchMinPlus, Full{}, WithBaseSize[float64](32), WithParallel[float64](64))
+	})
+}
+
+func BenchmarkPiDelta(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Pi(i&1023, (i*7)&1023)
+		_ = Delta(i&1023, (i*3)&1023, (i*7)&1023)
+	}
+}
+
+func BenchmarkTauAnalytic(b *testing.B) {
+	s := LU{}
+	for i := 0; i < b.N; i++ {
+		_ = s.Tau(i&255, (i*3)&255, (i*7)&255)
+	}
+}

@@ -1,0 +1,229 @@
+package core
+
+import "gep/internal/matrix"
+
+// C-GEP (function H, Figure 3): the fully general cache-oblivious
+// implementation of GEP. It follows exactly the recursion of I-GEP but
+// replaces the direct reads of c[i,k], c[k,j] and c[k,k] with reads of
+// saved intermediate states so that every update sees precisely the
+// values the iterative G would have supplied (second column of
+// Table 1). Four auxiliary matrices record the states:
+//
+//	u0[i,j] — value of c[i,j] in state τ_ij(j-1)
+//	u1[i,j] — value of c[i,j] in state τ_ij(j)
+//	v0[i,j] — value of c[i,j] in state τ_ij(i-1)
+//	v1[i,j] — value of c[i,j] in state τ_ij(i)
+//
+// all initialized to c. The update ⟨i,j,k⟩ then computes
+//
+//	c[i,j] ← f(c[i,j], u_{[j>k]}[i,k], v_{[i>k]}[k,j],
+//	           u_{[(i>k) ∨ (i=k ∧ j>k)]}[k,k])
+//
+// and re-saves c[i,j] into whichever of the four slots has k as its
+// trigger. Time and I/O bounds are those of I-GEP.
+
+// cgepState bundles the recursion parameters of H. For RunCGEP the aux
+// matrices are full n×n and the band bases are 0; for RunCGEPCompact
+// u0/u1 are n×(n/2) column bands (columns [uColBase, uColBase+n/2))
+// and v0/v1 are (n/2)×n row bands.
+type cgepState[T any] struct {
+	c   matrix.Grid[T]
+	f   UpdateFunc[T]
+	set UpdateSet
+	cfg *config[T]
+
+	u0, u1 matrix.Rect[T]
+	v0, v1 matrix.Rect[T]
+
+	uColBase int // first column stored in u0/u1
+	vRowBase int // first row stored in v0/v1
+	uCols    int // number of columns stored (n or n/2)
+	vRows    int // number of rows stored (n or n/2)
+}
+
+// RunCGEP executes C-GEP with the 4n²-extra-space scheme of §2.2.2.
+// It is a provably correct cache-oblivious implementation of RunGEP
+// for every update function and update set: the two always produce
+// identical results. The side length must be a power of two.
+func RunCGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	n := c.N()
+	checkPow2(n)
+	if n == 0 {
+		return
+	}
+	cfg := buildConfig(opts)
+	st := &cgepState[T]{
+		c: c, f: f, set: set, cfg: &cfg,
+		u0: cfg.newAux(n, n), u1: cfg.newAux(n, n),
+		v0: cfg.newAux(n, n), v1: cfg.newAux(n, n),
+		uCols: n, vRows: n,
+	}
+	// Initialize every aux matrix to c (Figure 3 preamble).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x := c.At(i, j)
+			st.u0.Set(i, j, x)
+			st.u1.Set(i, j, x)
+			st.v0.Set(i, j, x)
+			st.v1.Set(i, j, x)
+		}
+	}
+	st.rec(0, 0, 0, n)
+}
+
+// RunCGEPCompact executes C-GEP with the reduced-space scheme: the aux
+// state is restricted to the columns (for u0/u1) and rows (for v0/v1)
+// of the half of the k-range currently being processed, and is
+// re-initialized from c between the two halves — 2n² extra cells
+// instead of 4n², at the cost of the extra (re)initialization passes
+// the paper observed to make the compact variant slightly slower.
+//
+// (The technical report's variant reaches n²+n extra cells with a finer
+// scheme; this implementation keeps the same top-level idea — trade
+// reinitialization work for space — at 2n². See DESIGN.md §4.)
+//
+// Correctness of the band restriction: reads at update ⟨i,j,k⟩ touch
+// only u-columns k, v-rows k and the diagonal cell (k,k), all inside
+// the active half. A save for a cell outside the active band can only
+// trigger in the first half (its trigger τ is <= its column/row index);
+// skipping it is safe because the skipped value — c's state
+// τ_ij(j-1) < n/2 — equals c's state at the end of the first half
+// (there are no Σ_G updates for that cell between the two), which is
+// exactly what the re-initialization stores.
+func RunCGEPCompact[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	n := c.N()
+	checkPow2(n)
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		// A single cell: H degenerates to G.
+		RunGEP(c, f, set)
+		return
+	}
+	cfg := buildConfig(opts)
+	m := n / 2
+	st := &cgepState[T]{
+		c: c, f: f, set: set, cfg: &cfg,
+		u0: cfg.newAux(n, m), u1: cfg.newAux(n, m),
+		v0: cfg.newAux(m, n), v1: cfg.newAux(m, n),
+		uCols: m, vRows: m,
+	}
+
+	// First half: k ∈ [0, m). Bands hold columns/rows [0, m).
+	st.uColBase, st.vRowBase = 0, 0
+	st.reinitBands()
+	st.rec(0, 0, 0, m) // X11, forward pass of the root
+	st.rec(0, m, 0, m) // X12
+	st.rec(m, 0, 0, m) // X21
+	st.rec(m, m, 0, m) // X22
+
+	// Second half: k ∈ [m, n). Re-point the bands at columns/rows
+	// [m, n) and refill them with c's current state.
+	st.uColBase, st.vRowBase = m, m
+	st.reinitBands()
+	st.rec(m, m, m, m) // X22, backward pass of the root
+	st.rec(m, 0, m, m) // X21
+	st.rec(0, m, m, m) // X12
+	st.rec(0, 0, m, m) // X11
+}
+
+// reinitBands loads the active columns of u0/u1 and rows of v0/v1 from
+// the current contents of c.
+func (st *cgepState[T]) reinitBands() {
+	n := st.c.N()
+	for i := 0; i < n; i++ {
+		for j := 0; j < st.uCols; j++ {
+			x := st.c.At(i, st.uColBase+j)
+			st.u0.Set(i, j, x)
+			st.u1.Set(i, j, x)
+		}
+	}
+	for i := 0; i < st.vRows; i++ {
+		for j := 0; j < n; j++ {
+			x := st.c.At(st.vRowBase+i, j)
+			st.v0.Set(i, j, x)
+			st.v1.Set(i, j, x)
+		}
+	}
+}
+
+// rec is H(X, k1, k2) with X = c[i0 : i0+s, j0 : j0+s] and k-range
+// [k0, k0+s) — the same recursion shape as igep.
+func (st *cgepState[T]) rec(i0, j0, k0, s int) {
+	if st.cfg.prune && !st.set.Intersects(i0, i0+s-1, j0, j0+s-1, k0, k0+s-1) {
+		return
+	}
+	if s <= st.cfg.baseSize {
+		st.kernel(i0, j0, k0, s)
+		return
+	}
+	h := s / 2
+	st.rec(i0, j0, k0, h)       // X11  forward
+	st.rec(i0, j0+h, k0, h)     // X12
+	st.rec(i0+h, j0, k0, h)     // X21
+	st.rec(i0+h, j0+h, k0, h)   // X22
+	st.rec(i0+h, j0+h, k0+h, h) // X22  backward
+	st.rec(i0+h, j0, k0+h, h)   // X21
+	st.rec(i0, j0+h, k0+h, h)   // X12
+	st.rec(i0, j0, k0+h, h)     // X11
+}
+
+// kernel executes a base-case block in G order with the H read/save
+// discipline (lines 2-8 of Figure 3 for s == 1; the block-kernel
+// generalization otherwise).
+func (st *cgepState[T]) kernel(i0, j0, k0, s int) {
+	ucb, vrb := st.uColBase, st.vRowBase
+	for k := k0; k < k0+s; k++ {
+		for i := i0; i < i0+s; i++ {
+			for j := j0; j < j0+s; j++ {
+				if !st.set.Contains(i, j, k) {
+					continue
+				}
+				// Reads (line 4): the saved states that equal what
+				// G would read (Table 1, column 2).
+				var u T
+				if j > k {
+					u = st.u1.At(i, k-ucb)
+				} else {
+					u = st.u0.At(i, k-ucb)
+				}
+				var v T
+				if i > k {
+					v = st.v1.At(k-vrb, j)
+				} else {
+					v = st.v0.At(k-vrb, j)
+				}
+				var w T
+				if i > k || (i == k && j > k) {
+					w = st.u1.At(k, k-ucb)
+				} else {
+					w = st.u0.At(k, k-ucb)
+				}
+				x := st.f(i, j, k, st.c.At(i, j), u, v, w)
+				st.c.Set(i, j, x)
+
+				// Saves (lines 5-8): record c[i,j]'s new state in
+				// whichever slots have k as their trigger. Saves
+				// whose target lies outside the active band are
+				// skipped (see RunCGEPCompact for why that is safe).
+				if j-ucb >= 0 && j-ucb < st.uCols {
+					if k == Tau(st.set, i, j, j-1) {
+						st.u0.Set(i, j-ucb, x)
+					}
+					if k == Tau(st.set, i, j, j) {
+						st.u1.Set(i, j-ucb, x)
+					}
+				}
+				if i-vrb >= 0 && i-vrb < st.vRows {
+					if k == Tau(st.set, i, j, i-1) {
+						st.v0.Set(i-vrb, j, x)
+					}
+					if k == Tau(st.set, i, j, i) {
+						st.v1.Set(i-vrb, j, x)
+					}
+				}
+			}
+		}
+	}
+}

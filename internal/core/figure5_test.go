@@ -1,0 +1,160 @@
+package core
+
+import "testing"
+
+// Validation of Figures 4, 5, 13 and 14 of the paper: walk the A/B/C/D
+// recursion over coordinates, classify every call by Figure 13's
+// preconditions (including the l subscripts, which encode the position
+// of X relative to the pivot block), and check that each parent's
+// children match Figure 5's transition table exactly.
+
+// fKind is a function instantiation from Figure 13.
+type fKind string
+
+const (
+	kA  fKind = "A"
+	kB1 fKind = "B1"
+	kB2 fKind = "B2"
+	kC1 fKind = "C1"
+	kC2 fKind = "C2"
+	kD1 fKind = "D1"
+	kD2 fKind = "D2"
+	kD3 fKind = "D3"
+	kD4 fKind = "D4"
+)
+
+// classify applies Figure 13's preconditions to a call with
+// X = c[i1..i2, j1..j2] and k-range [k1..k2] (0-based inclusive).
+func classify(t *testing.T, i1, i2, j1, j2, k1, k2 int) fKind {
+	t.Helper()
+	switch {
+	case i1 == k1 && j1 == k1:
+		return kA
+	case i1 == k1 && j1 > k2:
+		return kB1
+	case i1 == k1 && j2 < k1:
+		return kB2
+	case i1 > k2 && j1 == k1:
+		return kC1
+	case i2 < k1 && j1 == k1:
+		return kC2
+	case i1 > k2 && j1 > k2:
+		return kD1
+	case i1 > k2 && j2 < k1:
+		return kD2
+	case i2 < k1 && j1 > k2:
+		return kD3
+	case i2 < k1 && j2 < k1:
+		return kD4
+	}
+	t.Fatalf("call (i=[%d,%d], j=[%d,%d], k=[%d,%d]) matches no Figure 13 precondition — input conditions 2.1 violated",
+		i1, i2, j1, j2, k1, k2)
+	return ""
+}
+
+// figure5 is the transition table: for each parent kind, the kinds of
+// the eight recursive calls in Figure 4's order
+// (F11, F12, F21, F22 | F'22, F'21, F'12, F'11).
+var figure5 = map[fKind][8]fKind{
+	kA:  {kA, kB1, kC1, kD1, kA, kB2, kC2, kD4},
+	kB1: {kB1, kB1, kD1, kD1, kB1, kB1, kD3, kD3},
+	kB2: {kB2, kB2, kD2, kD2, kB2, kB2, kD4, kD4},
+	kC1: {kC1, kD1, kC1, kD1, kC1, kD2, kC1, kD2},
+	kC2: {kC2, kD3, kC2, kD3, kC2, kD4, kC2, kD4},
+	kD1: {kD1, kD1, kD1, kD1, kD1, kD1, kD1, kD1},
+	kD2: {kD2, kD2, kD2, kD2, kD2, kD2, kD2, kD2},
+	kD3: {kD3, kD3, kD3, kD3, kD3, kD3, kD3, kD3},
+	kD4: {kD4, kD4, kD4, kD4, kD4, kD4, kD4, kD4},
+}
+
+// TestFigure5TransitionTable walks the recursion from A(c,c,c,c) at
+// n=32 and asserts every call's children classify exactly as Figure 5
+// prescribes, and that input conditions 2.1 hold at every node.
+func TestFigure5TransitionTable(t *testing.T) {
+	calls := 0
+	var walk func(xi, xj, k0, s int)
+	walk = func(xi, xj, k0, s int) {
+		calls++
+		i1, i2 := xi, xi+s-1
+		j1, j2 := xj, xj+s-1
+		k1, k2 := k0, k0+s-1
+
+		// Input conditions 2.1: equal power-of-two sizes (by
+		// construction) and equal-or-disjoint index ranges.
+		if i1 != k1 && !(i2 < k1 || i1 > k2) {
+			t.Fatalf("i-range [%d,%d] partially overlaps k-range [%d,%d]", i1, i2, k1, k2)
+		}
+		if j1 != k1 && !(j2 < k1 || j1 > k2) {
+			t.Fatalf("j-range [%d,%d] partially overlaps k-range [%d,%d]", j1, j2, k1, k2)
+		}
+
+		parent := classify(t, i1, i2, j1, j2, k1, k2)
+		if s == 1 {
+			return
+		}
+		h := s / 2
+		// Figure 4's call order: forward F11, F12, F21, F22 with the
+		// first k-half; backward F'22, F'21, F'12, F'11 with the
+		// second.
+		children := [8][4]int{
+			{xi, xj, k0, h},
+			{xi, xj + h, k0, h},
+			{xi + h, xj, k0, h},
+			{xi + h, xj + h, k0, h},
+			{xi + h, xj + h, k0 + h, h},
+			{xi + h, xj, k0 + h, h},
+			{xi, xj + h, k0 + h, h},
+			{xi, xj, k0 + h, h},
+		}
+		want := figure5[parent]
+		for idx, ch := range children {
+			ci1, ci2 := ch[0], ch[0]+ch[3]-1
+			cj1, cj2 := ch[1], ch[1]+ch[3]-1
+			ck1, ck2 := ch[2], ch[2]+ch[3]-1
+			got := classify(t, ci1, ci2, cj1, cj2, ck1, ck2)
+			if got != want[idx] {
+				t.Fatalf("parent %s child %d: classified %s, Figure 5 says %s", parent, idx, got, want[idx])
+			}
+			walk(ch[0], ch[1], ch[2], ch[3])
+		}
+	}
+	const n = 32
+	walk(0, 0, 0, n)
+	// 1 + 8 + 64 + ... = (8^(log2 n +1) - 1) / 7 calls.
+	want := 0
+	for lvl, c := 0, 1; lvl <= 5; lvl, c = lvl+1, c*8 {
+		want += c
+	}
+	if calls != want {
+		t.Fatalf("visited %d calls, want %d", calls, want)
+	}
+}
+
+// TestFigure14Positions cross-checks the geometric reading of the l
+// subscripts (Figure 14): B1/B2 have U,V on the k-rows with X right or
+// left; C1/C2 above/below; D1..D4 the four diagonal quadrants.
+func TestFigure14Positions(t *testing.T) {
+	// At the first subdivision of A(0,0,0,n) with h = n/2 the eight
+	// children land in the canonical positions.
+	n := 8
+	h := n / 2
+	cases := []struct {
+		xi, xj, k0 int
+		want       fKind
+	}{
+		{0, 0, 0, kA},  // X11 forward: the diagonal block itself
+		{0, h, 0, kB1}, // X12 forward: right of pivot columns
+		{h, 0, 0, kC1}, // X21 forward: below pivot rows
+		{h, h, 0, kD1}, // X22 forward: down-right of pivot block
+		{h, h, h, kA},  // X22 backward
+		{h, 0, h, kB2}, // X21 backward: left of pivot columns
+		{0, h, h, kC2}, // X12 backward: above pivot rows
+		{0, 0, h, kD4}, // X11 backward: up-left of pivot block
+	}
+	for _, c := range cases {
+		got := classify(t, c.xi, c.xi+h-1, c.xj, c.xj+h-1, c.k0, c.k0+h-1)
+		if got != c.want {
+			t.Fatalf("block (%d,%d) k=%d: classified %s, want %s", c.xi, c.xj, c.k0, got, c.want)
+		}
+	}
+}

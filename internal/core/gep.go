@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"gep/internal/matrix"
+)
+
+// RunGEP executes the iterative GEP computation G of Figure 1: for k,
+// i, j in lexicographic order, apply
+//
+//	c[i,j] ← f(c[i,j], c[i,k], c[k,j], c[k,k])   for ⟨i,j,k⟩ ∈ Σ_G.
+//
+// It runs in O(n³) time and incurs O(n³/B) I/Os on a row-major matrix.
+// Any side length n >= 0 is accepted (the power-of-two restriction is
+// only needed by the recursive algorithms).
+func RunGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet) {
+	n := c.N()
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if set.Contains(i, j, k) {
+					c.Set(i, j, f(i, j, k, c.At(i, j), c.At(i, k), c.At(k, j), c.At(k, k)))
+				}
+			}
+		}
+	}
+}
+
+// checkPow2 validates the side length required by the recursive
+// algorithms (the paper assumes n = 2^q; use matrix.PadPow2 first).
+func checkPow2(n int) {
+	if n > 0 && !matrix.IsPow2(n) {
+		panic(fmt.Sprintf("core: recursive GEP needs a power-of-two side, got %d (pad with matrix.PadPow2)", n))
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "gep/internal/matrix"
+
+// RunIGEP executes the cache-oblivious I-GEP recursion F of Figure 2 on
+// the square matrix c, in place. With the default options it performs
+// exactly the pure recursion; WithBaseSize switches to an iterative
+// kernel at small subproblems (§4.2 of the paper).
+//
+// I-GEP performs the same set of updates as RunGEP (Theorem 2.1) but
+// may supply different intermediate values to f (Theorem 2.2); it is
+// provably equivalent to RunGEP for the standard instances —
+// Floyd-Warshall (Full set, min-plus f), Gaussian elimination
+// (Gaussian set), LU decomposition (LU set), and matrix multiplication
+// — but not for arbitrary (f, Σ_G); use RunCGEP for full generality.
+//
+// The side length must be a power of two (pad with matrix.PadPow2).
+// I/O complexity: O(n³/(B√M)) under the tall-cache assumption.
+func RunIGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+	n := c.N()
+	checkPow2(n)
+	if n == 0 {
+		return
+	}
+	cfg := buildConfig(opts)
+	igep(c, f, set, &cfg, 0, 0, 0, n)
+}
+
+// igep is F(X, k1, k2) with X = c[i0 : i0+s, j0 : j0+s] and the k-range
+// [k0, k0+s). Input conditions 2.1 hold by construction: the i-, j- and
+// k-ranges have equal power-of-two length and each either equals or is
+// disjoint from the k-range.
+func igep[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *config[T], i0, j0, k0, s int) {
+	// Line 1: skip quadrants whose update box misses Σ_G entirely.
+	if cfg.prune && !set.Intersects(i0, i0+s-1, j0, j0+s-1, k0, k0+s-1) {
+		return
+	}
+	if s <= cfg.baseSize {
+		igepKernel(c, f, set, i0, j0, k0, s)
+		return
+	}
+	h := s / 2
+	// Forward pass: k-range [k0, k0+h) over the four quadrants.
+	igep(c, f, set, cfg, i0, j0, k0, h)     // X11
+	igep(c, f, set, cfg, i0, j0+h, k0, h)   // X12
+	igep(c, f, set, cfg, i0+h, j0, k0, h)   // X21
+	igep(c, f, set, cfg, i0+h, j0+h, k0, h) // X22
+	// Backward pass: k-range [k0+h, k0+s) in reverse quadrant order.
+	igep(c, f, set, cfg, i0+h, j0+h, k0+h, h) // X22
+	igep(c, f, set, cfg, i0+h, j0, k0+h, h)   // X21
+	igep(c, f, set, cfg, i0, j0+h, k0+h, h)   // X12
+	igep(c, f, set, cfg, i0, j0, k0+h, h)     // X11
+}
+
+// igepKernel executes a base-case block iteratively in G order. For
+// s == 1 it is exactly line 2 of Figure 2; for s > 1 it is the paper's
+// "GEP-like iterative kernel" optimization, equivalent to the pure
+// recursion on every instance for which I-GEP itself is correct.
+func igepKernel[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, i0, j0, k0, s int) {
+	for k := k0; k < k0+s; k++ {
+		for i := i0; i < i0+s; i++ {
+			for j := j0; j < j0+s; j++ {
+				if set.Contains(i, j, k) {
+					c.Set(i, j, f(i, j, k, c.At(i, j), c.At(i, k), c.At(k, j), c.At(k, k)))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gep/internal/matrix"
+)
+
+// §2.3 of the paper frames I-GEP and C-GEP as cache-oblivious tiling
+// transformations for compilers: C-GEP is legal for every loop nest in
+// GEP form, while I-GEP is legal only for instances whose update
+// function tolerates the reordered intermediate reads (Theorem 2.2).
+// CheckIGEPLegality is the practical counterpart: a randomized
+// differential tester that certifies illegality (a found
+// counterexample is definitive) and otherwise reports the instance
+// compatible up to the tested sizes — the kind of evidence an
+// optimizing compiler could gather before applying the aggressive
+// transformation, falling back to C-GEP on failure.
+
+// LegalityReport is the outcome of CheckIGEPLegality.
+type LegalityReport struct {
+	// Legal is false iff a concrete divergence was found.
+	Legal bool
+	// Counterexample holds the diverging input when Legal is false.
+	Counterexample *matrix.Dense[int64]
+	// Cell is a diverging position (row, col) when Legal is false.
+	Cell [2]int
+	// Trials is the number of (size, input) combinations tested.
+	Trials int
+}
+
+func (r LegalityReport) String() string {
+	if r.Legal {
+		return fmt.Sprintf("no divergence in %d trials (I-GEP compatible up to tested sizes)", r.Trials)
+	}
+	return fmt.Sprintf("I-GEP illegal: diverges at cell (%d,%d) after %d trials", r.Cell[0], r.Cell[1], r.Trials)
+}
+
+// InputGen draws a random n×n test input. Legality can be
+// domain-sensitive — e.g. min-plus over Full is I-GEP-exact on proper
+// distance matrices (zero diagonal, no negative cycles) but diverges
+// on arbitrary values — so the generator should sample the domain the
+// loop nest will actually run on.
+type InputGen func(rng *rand.Rand, n int) *matrix.Dense[int64]
+
+// CheckIGEPLegality differentially tests RunIGEP against RunGEP on
+// random inputs drawn by gen (nil selects small signed integers) for
+// every power-of-two size up to maxN, with the given number of trials
+// per size.
+func CheckIGEPLegality(f UpdateFunc[int64], set UpdateSet, maxN, trialsPerSize int, seed int64, gen InputGen) LegalityReport {
+	rng := rand.New(rand.NewSource(seed))
+	if gen == nil {
+		gen = func(rng *rand.Rand, n int) *matrix.Dense[int64] {
+			in := matrix.NewSquare[int64](n)
+			in.Apply(func(i, j int, _ int64) int64 { return rng.Int63n(19) - 9 })
+			return in
+		}
+	}
+	report := LegalityReport{Legal: true}
+	for n := 1; n <= maxN; n *= 2 {
+		for t := 0; t < trialsPerSize; t++ {
+			report.Trials++
+			in := gen(rng, n)
+			want := in.Clone()
+			RunGEP[int64](want, f, set)
+			got := in.Clone()
+			RunIGEP[int64](got, f, set)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if want.At(i, j) != got.At(i, j) {
+						report.Legal = false
+						report.Counterexample = in
+						report.Cell = [2]int{i, j}
+						return report
+					}
+				}
+			}
+		}
+	}
+	return report
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gep/internal/matrix"
+)
+
+func minPlusF(i, j, k int, x, u, v, w int64) int64 {
+	if s := u + v; s < x {
+		return s
+	}
+	return x
+}
+
+// distanceGen samples valid distance matrices: zero diagonal,
+// non-negative weights (so no negative cycles) with a large finite
+// "no edge" sentinel.
+func distanceGen(rng *rand.Rand, n int) *matrix.Dense[int64] {
+	in := matrix.NewSquare[int64](n)
+	in.Apply(func(i, j int, _ int64) int64 {
+		if i == j {
+			return 0
+		}
+		if rng.Intn(3) == 0 {
+			return 1 << 40
+		}
+		return rng.Int63n(100) + 1
+	})
+	return in
+}
+
+func TestLegalityAcceptsFloydWarshallDomain(t *testing.T) {
+	r := CheckIGEPLegality(minPlusF, Full{}, 16, 5, 1, distanceGen)
+	if !r.Legal {
+		t.Fatalf("min-plus on distance matrices flagged illegal: %v", r)
+	}
+	if r.Trials == 0 {
+		t.Fatal("no trials run")
+	}
+}
+
+// TestLegalityDomainSensitivity documents a genuine subtlety the
+// checker surfaces: min-plus over Full is only I-GEP-legal on the
+// Floyd-Warshall input domain. On arbitrary matrices (negative
+// self-loops = negative cycles) the iterative and recursive orders
+// genuinely diverge, and the checker must find that.
+func TestLegalityDomainSensitivity(t *testing.T) {
+	r := CheckIGEPLegality(minPlusF, Full{}, 16, 20, 2, nil)
+	if r.Legal {
+		t.Fatal("min-plus on arbitrary inputs (negative cycles) not flagged")
+	}
+}
+
+func TestLegalityAcceptsGaussian(t *testing.T) {
+	// Over the Gaussian set, x - u·v (integer elimination without the
+	// division) is exact for I-GEP: the u, v, w values it reads are
+	// fully updated, matching G.
+	ge := func(i, j, k int, x, u, v, w int64) int64 { return x - u*v }
+	r := CheckIGEPLegality(ge, Gaussian{}, 16, 5, 3, nil)
+	if !r.Legal {
+		t.Fatalf("gaussian elimination flagged illegal: %v", r)
+	}
+}
+
+func TestLegalityRejectsSum(t *testing.T) {
+	// The paper's counterexample class: summing f over the full set.
+	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	r := CheckIGEPLegality(sum, Full{}, 8, 5, 4, nil)
+	if r.Legal {
+		t.Fatal("sum over Full not flagged illegal")
+	}
+	if r.Counterexample == nil {
+		t.Fatal("no counterexample recorded")
+	}
+	// The counterexample must actually diverge: replay it.
+	want := r.Counterexample.Clone()
+	RunGEP[int64](want, sum, Full{})
+	got := r.Counterexample.Clone()
+	RunIGEP[int64](got, sum, Full{})
+	i, j := r.Cell[0], r.Cell[1]
+	if want.At(i, j) == got.At(i, j) {
+		t.Fatal("recorded counterexample does not reproduce")
+	}
+}
+
+func TestLegalityStringForms(t *testing.T) {
+	legal := LegalityReport{Legal: true, Trials: 7}
+	if s := legal.String(); s == "" {
+		t.Fatal("empty report string")
+	}
+	illegal := LegalityReport{Legal: false, Cell: [2]int{1, 2}, Trials: 3}
+	if s := illegal.String(); s == "" {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,69 @@
+package core
+
+import "math/bits"
+
+// Aligned-block machinery of Definition 2.2 (0-based translation).
+//
+// An aligned subinterval for n = 2^q is [a, b] with b-a+1 = 2^r and
+// a ≡ 0 (mod 2^r); an aligned subsquare is [a,b] × [a,b]. Pi and Delta
+// locate the largest aligned block separating one point from another
+// and return the block's upper end; Theorem 2.2 uses them to state
+// exactly which historical cell states I-GEP reads:
+//
+// Immediately before F applies ⟨i,j,k⟩:
+//
+//	c[i,j] = c_{k-1}(i,j)
+//	c[i,k] = c_{Pi(j,k)}(i,k)
+//	c[k,j] = c_{Pi(i,k)}(k,j)
+//	c[k,k] = c_{Delta(i,j,k)}(k,k)
+//
+// where c_l(i,j) denotes the value of c[i,j] after exactly the updates
+// ⟨i,j,k'⟩ ∈ Σ_G with k' <= l have been applied (l = -1 is the initial
+// value; the paper writes state 0 for the same thing).
+
+// Pi returns the upper end b (0-based, inclusive) of the largest
+// aligned subinterval containing z but not x, or z-1 when x == z
+// (Definition 2.2(b), shifted to 0-based indices).
+func Pi(x, z int) int {
+	if x == z {
+		return z - 1
+	}
+	h := bits.Len(uint(x^z)) - 1 // highest differing bit
+	return z | (1<<h - 1)
+}
+
+// Delta returns the upper end b of the largest aligned subsquare
+// [a,b]×[a,b] containing (z,z) but not (x,y), or z-1 when x == y == z
+// (Definition 2.2(a), 0-based).
+func Delta(x, y, z int) int {
+	if x == z && y == z {
+		return z - 1
+	}
+	r := -1
+	if x != z {
+		r = bits.Len(uint(x^z)) - 1
+	}
+	if y != z {
+		if hy := bits.Len(uint(y^z)) - 1; hy > r {
+			r = hy
+		}
+	}
+	return z | (1<<r - 1)
+}
+
+// AlignedInterval returns the aligned subinterval [a, b] of size 2^r
+// containing z (0-based).
+func AlignedInterval(z, r int) (a, b int) {
+	a = z &^ (1<<r - 1)
+	return a, a + 1<<r - 1
+}
+
+// IsAlignedInterval reports whether [a, b] (0-based, inclusive) is an
+// aligned subinterval: power-of-two length and aligned start.
+func IsAlignedInterval(a, b int) bool {
+	size := b - a + 1
+	if size <= 0 || size&(size-1) != 0 {
+		return false
+	}
+	return a%size == 0
+}

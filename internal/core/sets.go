@@ -1,0 +1,216 @@
+package core
+
+// Standard update sets Σ_G for the GEP instances the paper studies,
+// plus generic predicate- and extension-based sets for arbitrary
+// computations and tests. All implement TauSet where an O(1) τ is
+// available.
+
+// Full is the complete update set {⟨i,j,k⟩ : 0 <= i,j,k < n}. It is
+// the Σ_G of Floyd-Warshall's APSP and of matrix multiplication in GEP
+// form.
+type Full struct{}
+
+// Contains implements UpdateSet.
+func (Full) Contains(i, j, k int) bool { return true }
+
+// Intersects implements UpdateSet.
+func (Full) Intersects(i1, i2, j1, j2, k1, k2 int) bool { return true }
+
+// Tau implements TauSet: every k' <= l is in the set.
+func (Full) Tau(i, j, l int) int { return l }
+
+// Gaussian is Σ_G for Gaussian elimination without pivoting:
+// {⟨i,j,k⟩ : k < i ∧ k < j}. Combined with
+// f(x,u,v,w) = x - (u/w)·v it reduces c to upper-triangular form
+// (the strictly-lower part is left unreduced).
+type Gaussian struct{}
+
+// Contains implements UpdateSet.
+func (Gaussian) Contains(i, j, k int) bool { return k < i && k < j }
+
+// Intersects implements UpdateSet: some k in [k1,k2] is below some i in
+// [i1,i2] and some j in [j1,j2] exactly when k1 < i2 and k1 < j2.
+func (Gaussian) Intersects(i1, i2, j1, j2, k1, k2 int) bool {
+	return k1 < i2 && k1 < j2
+}
+
+// Tau implements TauSet.
+func (Gaussian) Tau(i, j, l int) int {
+	m := min3(l, i-1, j-1)
+	if m < 0 {
+		return -1
+	}
+	return m
+}
+
+// LU is Σ_G for LU decomposition without pivoting:
+// {⟨i,j,k⟩ : k < i ∧ k <= j}. Combined with
+//
+//	f(i,j,k,x,u,v,w) = x/w       if j == k   (multiplier l_ik)
+//	                   x - u·v   if j > k    (elimination)
+//
+// it leaves L (unit diagonal implicit) strictly below the diagonal and
+// U on and above it.
+type LU struct{}
+
+// Contains implements UpdateSet.
+func (LU) Contains(i, j, k int) bool { return k < i && k <= j }
+
+// Intersects implements UpdateSet.
+func (LU) Intersects(i1, i2, j1, j2, k1, k2 int) bool {
+	return k1 < i2 && k1 <= j2
+}
+
+// Tau implements TauSet.
+func (LU) Tau(i, j, l int) int {
+	m := min3(l, i-1, j)
+	if m < 0 {
+		return -1
+	}
+	return m
+}
+
+// FloydWarshall is Σ_G for Floyd-Warshall's all-pairs shortest paths.
+// It equals Full: every triple is updated with f = min(x, u+v).
+type FloydWarshall = Full
+
+// Predicate adapts an arbitrary membership function to UpdateSet. Its
+// Intersects is conservative (always true) unless an analytic box test
+// is supplied, so pruning is disabled but correctness is unaffected;
+// τ falls back to a downward scan unless TauFn is supplied.
+type Predicate struct {
+	// Pred reports membership of ⟨i,j,k⟩; must be deterministic.
+	Pred func(i, j, k int) bool
+	// BoxFn, if non-nil, implements the Intersects pruning test.
+	BoxFn func(i1, i2, j1, j2, k1, k2 int) bool
+	// TauFn, if non-nil, implements τ in O(1).
+	TauFn func(i, j, l int) int
+}
+
+// Contains implements UpdateSet.
+func (p Predicate) Contains(i, j, k int) bool { return p.Pred(i, j, k) }
+
+// Intersects implements UpdateSet.
+func (p Predicate) Intersects(i1, i2, j1, j2, k1, k2 int) bool {
+	if p.BoxFn != nil {
+		return p.BoxFn(i1, i2, j1, j2, k1, k2)
+	}
+	return true
+}
+
+// Tau implements TauSet.
+func (p Predicate) Tau(i, j, l int) int {
+	if p.TauFn != nil {
+		return p.TauFn(i, j, l)
+	}
+	for k := l; k >= 0; k-- {
+		if p.Pred(i, j, k) {
+			return k
+		}
+	}
+	return -1
+}
+
+// Explicit is an extensionally given update set, used mainly by tests
+// and the theorem checkers: it stores its triples and answers Contains,
+// Intersects and Tau exactly.
+type Explicit struct {
+	n       int
+	members map[[3]int]bool
+	// byCell[i*n+j] holds the sorted k values with ⟨i,j,k⟩ present,
+	// enabling O(log) τ queries.
+	byCell [][]int
+}
+
+// NewExplicit returns an empty explicit set over [0,n)³.
+func NewExplicit(n int) *Explicit {
+	return &Explicit{
+		n:       n,
+		members: make(map[[3]int]bool),
+		byCell:  make([][]int, n*n),
+	}
+}
+
+// Add inserts ⟨i,j,k⟩; duplicates are ignored.
+func (e *Explicit) Add(i, j, k int) {
+	t := [3]int{i, j, k}
+	if e.members[t] {
+		return
+	}
+	e.members[t] = true
+	cell := i*e.n + j
+	ks := e.byCell[cell]
+	// Insert keeping ks sorted ascending.
+	pos := len(ks)
+	for pos > 0 && ks[pos-1] > k {
+		pos--
+	}
+	ks = append(ks, 0)
+	copy(ks[pos+1:], ks[pos:])
+	ks[pos] = k
+	e.byCell[cell] = ks
+}
+
+// Len returns the number of triples in the set.
+func (e *Explicit) Len() int { return len(e.members) }
+
+// Triples returns all members; the order is unspecified.
+func (e *Explicit) Triples() [][3]int {
+	out := make([][3]int, 0, len(e.members))
+	for t := range e.members {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Contains implements UpdateSet.
+func (e *Explicit) Contains(i, j, k int) bool { return e.members[[3]int{i, j, k}] }
+
+// Intersects implements UpdateSet exactly by scanning the cell lists of
+// the box; adequate for the test-scale sets this type is meant for.
+func (e *Explicit) Intersects(i1, i2, j1, j2, k1, k2 int) bool {
+	for i := i1; i <= i2; i++ {
+		for j := j1; j <= j2; j++ {
+			for _, k := range e.byCell[i*e.n+j] {
+				if k >= k1 && k <= k2 {
+					return true
+				}
+				if k > k2 {
+					break
+				}
+			}
+		}
+	}
+	return false
+}
+
+// Tau implements TauSet.
+func (e *Explicit) Tau(i, j, l int) int {
+	ks := e.byCell[i*e.n+j]
+	best := -1
+	for _, k := range ks {
+		if k > l {
+			break
+		}
+		best = k
+	}
+	return best
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+var (
+	_ TauSet = Full{}
+	_ TauSet = Gaussian{}
+	_ TauSet = LU{}
+	_ TauSet = Predicate{}
+	_ TauSet = (*Explicit)(nil)
+)

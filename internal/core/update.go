@@ -1,0 +1,137 @@
+package core
+
+import "gep/internal/matrix"
+
+// UpdateFunc computes the new value of c[i,j] from the current values
+// x = c[i,j], u = c[i,k], v = c[k,j] and w = c[k,k]. It corresponds to
+// the function f of Figure 1 of the paper; the indices are supplied for
+// convenience (the paper's f ignores them) and must not be used to
+// read other matrix cells, or the cache-oblivious bounds and the C-GEP
+// correctness guarantee no longer apply.
+type UpdateFunc[T any] func(i, j, k int, x, u, v, w T) T
+
+// UpdateSet is the set Σ_G of update triples ⟨i,j,k⟩ a GEP computation
+// applies. All indices are 0-based.
+type UpdateSet interface {
+	// Contains reports whether ⟨i,j,k⟩ ∈ Σ_G.
+	Contains(i, j, k int) bool
+
+	// Intersects reports whether Σ_G contains any triple in the box
+	// [i1,i2] × [j1,j2] × [k1,k2] (inclusive bounds). It implements
+	// the T_{X,[k1,k2]} ∩ Σ_G = ∅ pruning test of line 1 of I-GEP and
+	// C-GEP. Returning true conservatively is always allowed; it
+	// affects only performance, never correctness.
+	Intersects(i1, i2, j1, j2, k1, k2 int) bool
+}
+
+// TauSet is an UpdateSet that can answer the τ query of Definition 2.3
+// in O(1); the standard sets in this package all implement it.
+type TauSet interface {
+	UpdateSet
+	// Tau returns the largest l' <= l with ⟨i,j,l'⟩ ∈ Σ_G, or -1 if no
+	// such l' exists (the paper's τ_ij(l), 0-based, with -1 standing
+	// for the paper's 0 = "initial state").
+	Tau(i, j, l int) int
+}
+
+// Tau evaluates τ_ij(l) for any UpdateSet, using the set's own Tau
+// method when it implements TauSet and a downward scan otherwise.
+func Tau(s UpdateSet, i, j, l int) int {
+	if ts, ok := s.(TauSet); ok {
+		return ts.Tau(i, j, l)
+	}
+	for k := l; k >= 0; k-- {
+		if s.Contains(i, j, k) {
+			return k
+		}
+	}
+	return -1
+}
+
+// config carries the tunable knobs of the recursive algorithms.
+type config[T any] struct {
+	baseSize int
+	prune    bool
+	parallel bool
+	grain    int
+	newAux   func(rows, cols int) matrix.Rect[T]
+	spawn    func(task func()) (wait func())
+}
+
+func defaultConfig[T any]() config[T] {
+	return config[T]{
+		baseSize: 1,
+		prune:    true,
+		parallel: false,
+		grain:    64,
+		newAux: func(rows, cols int) matrix.Rect[T] {
+			return matrix.New[T](rows, cols)
+		},
+	}
+}
+
+// Option configures the recursive GEP algorithms.
+type Option[T any] func(*config[T])
+
+// WithBaseSize sets the subproblem side at which the recursion switches
+// to an iterative kernel (the paper's empirically tuned "base-size",
+// §4.2: 128 on Xeon, 64 on Opteron). The default is 1, which is the
+// pure recursion of Figures 2 and 3.
+//
+// For I-GEP the kernel executes the block in G order, which is
+// equivalent for every (f, Σ_G) instance on which I-GEP is correct.
+// For C-GEP the kernel performs the H base-case body (saved-state reads
+// and saves) in G order.
+func WithBaseSize[T any](b int) Option[T] {
+	if b < 1 {
+		panic("core: base size must be >= 1")
+	}
+	return func(c *config[T]) { c.baseSize = b }
+}
+
+// WithPrune enables or disables the line-1 quadrant pruning test
+// (default enabled). Disabling it exists for the pruning ablation
+// benchmark.
+func WithPrune[T any](on bool) Option[T] {
+	return func(c *config[T]) { c.prune = on }
+}
+
+// WithParallel enables goroutine execution of the parallel steps of the
+// multithreaded A/B/C/D recursion (Figure 6). grain is the subproblem
+// side below which calls run serially; it bounds spawn overhead.
+// Only RunABCD and RunDisjoint honor this option.
+func WithParallel[T any](grain int) Option[T] {
+	if grain < 1 {
+		panic("core: parallel grain must be >= 1")
+	}
+	return func(c *config[T]) {
+		c.parallel = true
+		c.grain = grain
+	}
+}
+
+// WithAuxFactory sets the allocator used for C-GEP's auxiliary matrices
+// u0, u1, v0, v1 (n×n each for RunCGEP; n×(n/2) and (n/2)×n bands for
+// RunCGEPCompact). The default allocates in-core dense matrices; the
+// out-of-core driver passes a file-backed factory so that the aux state
+// obeys the same memory budget as the main matrix.
+func WithAuxFactory[T any](f func(rows, cols int) matrix.Rect[T]) Option[T] {
+	return func(c *config[T]) { c.newAux = f }
+}
+
+// WithSpawn replaces the goroutine spawner used by parallel execution.
+// It exists so the schedule simulator (internal/sched) and tests can
+// intercept task creation; spawn must return a function that waits for
+// the task to complete. The default runs `go task()` with a
+// sync.WaitGroup.
+func WithSpawn[T any](spawn func(task func()) (wait func())) Option[T] {
+	return func(c *config[T]) { c.spawn = spawn }
+}
+
+func buildConfig[T any](opts []Option[T]) config[T] {
+	c := defaultConfig[T]()
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}

@@ -1,0 +1,49 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkParenthesisIterative(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w, base := randChainW(rng, 256)
+	for i := 0; i < b.N; i++ {
+		_ = ParenthesisIterative(256, w, base)
+	}
+}
+
+func BenchmarkParenthesisCacheOblivious(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w, base := randChainW(rng, 256)
+	for i := 0; i < b.N; i++ {
+		_ = ParenthesisCacheOblivious(256, w, base, 32)
+	}
+}
+
+func BenchmarkAlignIterative(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := randomSeqs(rng, 128, 128)
+	g := AffineCosts(subCost(x, y), 5, 1)
+	for i := 0; i < b.N; i++ {
+		_ = AlignIterative(128, 128, g)
+	}
+}
+
+func BenchmarkAlignCacheOblivious(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := randomSeqs(rng, 128, 128)
+	g := AffineCosts(subCost(x, y), 5, 1)
+	for i := 0; i < b.N; i++ {
+		_ = AlignCacheOblivious(128, 128, g, 32)
+	}
+}
+
+func BenchmarkGotohAffine(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x, y := randomSeqs(rng, 128, 128)
+	sub := subCost(x, y)
+	for i := 0; i < b.N; i++ {
+		_ = GotohAffine(128, 128, sub, 5, 1)
+	}
+}

@@ -1,0 +1,245 @@
+package dp
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// ---- parenthesis problem -------------------------------------------
+
+// bruteParenthesis is an exponential-free memoized reference computed
+// top-down, structurally unlike the two production solvers.
+func bruteParenthesis(n int, w CostFunc, base []float64) [][]float64 {
+	memo := make([][]float64, n+1)
+	for i := range memo {
+		memo[i] = make([]float64, n+1)
+		for j := range memo[i] {
+			memo[i][j] = math.NaN()
+		}
+	}
+	var rec func(i, j int) float64
+	rec = func(i, j int) float64 {
+		if !math.IsNaN(memo[i][j]) {
+			return memo[i][j]
+		}
+		var v float64
+		switch {
+		case j == i+1:
+			v = base[i]
+		default:
+			v = Inf
+			for k := i + 1; k < j; k++ {
+				if cand := rec(i, k) + rec(k, j) + w(i, k, j); cand < v {
+					v = cand
+				}
+			}
+		}
+		memo[i][j] = v
+		return v
+	}
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			rec(i, j)
+		}
+	}
+	return memo
+}
+
+func randChainW(rng *rand.Rand, n int) (CostFunc, []float64) {
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = rng.Intn(20) + 1
+	}
+	w := func(i, k, j int) float64 { return float64(dims[i] * dims[k] * dims[j]) }
+	base := make([]float64, n)
+	return w, base
+}
+
+func TestParenthesisSolversAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 21, 40} {
+		w, base := randChainW(rng, n)
+		memo := bruteParenthesis(n, w, base)
+		iter := ParenthesisIterative(n, w, base)
+		for _, block := range []int{1, 2, 4, 7, 64} {
+			co := ParenthesisCacheOblivious(n, w, base, block)
+			for i := 0; i <= n; i++ {
+				for j := i + 1; j <= n; j++ {
+					if iter.At(i, j) != memo[i][j] {
+						t.Fatalf("n=%d: iterative c[%d][%d]=%g, brute=%g", n, i, j, iter.At(i, j), memo[i][j])
+					}
+					if co.At(i, j) != memo[i][j] {
+						t.Fatalf("n=%d block=%d: cache-oblivious c[%d][%d]=%g, brute=%g",
+							n, block, i, j, co.At(i, j), memo[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestParenthesisArbitraryCosts(t *testing.T) {
+	// k-dependent and i/j-dependent costs with nonzero bases.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 5; trial++ {
+		n := 10 + trial*7
+		costs := make(map[[3]int]float64)
+		w := func(i, k, j int) float64 {
+			key := [3]int{i, k, j}
+			if v, ok := costs[key]; ok {
+				return v
+			}
+			v := float64((i*7+k*13+j*29)%50 + 1)
+			costs[key] = v
+			return v
+		}
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = float64(rng.Intn(10))
+		}
+		iter := ParenthesisIterative(n, w, base)
+		co := ParenthesisCacheOblivious(n, w, base, 4)
+		for i := 0; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if iter.At(i, j) != co.At(i, j) {
+					t.Fatalf("n=%d: mismatch at (%d,%d): %g vs %g", n, i, j, iter.At(i, j), co.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestMatrixChainKnownExample(t *testing.T) {
+	// CLRS example: dims 30,35,15,5,10,20,25 → 15125.
+	dims := []int{30, 35, 15, 5, 10, 20, 25}
+	if got := MatrixChainCost(dims); got != 15125 {
+		t.Fatalf("MatrixChainCost = %g, want 15125", got)
+	}
+	cost, order := MatrixChainOrder(dims)
+	if cost != 15125 {
+		t.Fatalf("MatrixChainOrder cost = %g", cost)
+	}
+	// CLRS optimal: ((A0 (A1 A2)) ((A3 A4) A5)).
+	if order != "((A0 (A1 A2)) ((A3 A4) A5))" {
+		t.Fatalf("order = %q", order)
+	}
+	if MatrixChainCost([]int{7}) != 0 || MatrixChainCost([]int{3, 4}) != 0 {
+		t.Fatal("degenerate chains should cost 0")
+	}
+}
+
+func TestMatrixChainOrderBalanced(t *testing.T) {
+	// Equal dims: any order has equal cost; the string must still be a
+	// well-formed full parenthesization with n-1 multiplications.
+	cost, order := MatrixChainOrder([]int{2, 2, 2, 2, 2})
+	if cost != 3*8 {
+		t.Fatalf("cost = %g, want 24", cost)
+	}
+	if strings.Count(order, "(") != 3 || strings.Count(order, "A") != 4 {
+		t.Fatalf("order = %q", order)
+	}
+}
+
+// ---- gap alignment --------------------------------------------------
+
+func randomSeqs(rng *rand.Rand, n, m int) (x, y []byte) {
+	const alpha = "ACGT"
+	x = make([]byte, n)
+	y = make([]byte, m)
+	for i := range x {
+		x[i] = alpha[rng.Intn(4)]
+	}
+	for j := range y {
+		y[j] = alpha[rng.Intn(4)]
+	}
+	return
+}
+
+func subCost(x, y []byte) func(i, j int) float64 {
+	return func(i, j int) float64 {
+		if x[i-1] == y[j-1] {
+			return 0
+		}
+		return 3
+	}
+}
+
+func TestAlignCacheObliviousMatchesIterative(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	shapes := [][2]int{{0, 0}, {1, 0}, {0, 3}, {1, 1}, {5, 5}, {7, 13}, {16, 16}, {33, 9}, {24, 40}}
+	for _, sh := range shapes {
+		n, m := sh[0], sh[1]
+		x, y := randomSeqs(rng, n, m)
+		// A quirky concave-ish integer gap cost.
+		g := GapCosts{
+			Sub:  subCost(x, y),
+			GapX: func(p, i int) float64 { return 4 + float64((i-p)%5) },
+			GapY: func(q, j int) float64 { return 2 + 2*float64(j-q) },
+		}
+		want := AlignIterative(n, m, g)
+		for _, block := range []int{1, 2, 3, 8, 64} {
+			got := AlignCacheOblivious(n, m, g, block)
+			for i := 0; i <= n; i++ {
+				for j := 0; j <= m; j++ {
+					if want.At(i, j) != got.At(i, j) {
+						t.Fatalf("n=%d m=%d block=%d: D[%d][%d] = %g, want %g",
+							n, m, block, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlignAffineMatchesGotoh(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for _, sh := range [][2]int{{6, 6}, {12, 20}, {25, 25}, {31, 17}} {
+		n, m := sh[0], sh[1]
+		x, y := randomSeqs(rng, n, m)
+		sub := subCost(x, y)
+		const open, extend = 5, 1
+		oracle := GotohAffine(n, m, sub, open, extend)
+		general := AlignCacheOblivious(n, m, AffineCosts(sub, open, extend), 8)
+		for i := 0; i <= n; i++ {
+			for j := 0; j <= m; j++ {
+				if oracle.At(i, j) != general.At(i, j) {
+					t.Fatalf("n=%d m=%d: D[%d][%d] = %g, Gotoh %g",
+						n, m, i, j, general.At(i, j), oracle.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestAlignIdenticalSequencesCostZero(t *testing.T) {
+	x := []byte("GATTACA")
+	g := GapCosts{
+		Sub:  subCost(x, x),
+		GapX: func(p, i int) float64 { return 10 },
+		GapY: func(q, j int) float64 { return 10 },
+	}
+	d := AlignCacheOblivious(len(x), len(x), g, 4)
+	if d.At(len(x), len(x)) != 0 {
+		t.Fatalf("self-alignment cost = %g, want 0", d.At(len(x), len(x)))
+	}
+}
+
+func TestAlignValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AlignIterative(-1, 3, GapCosts{})
+}
+
+func TestParenthesisBaseValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParenthesisIterative(4, func(i, k, j int) float64 { return 0 }, make([]float64, 3))
+}

@@ -1,0 +1,61 @@
+package dp_test
+
+import (
+	"fmt"
+
+	"gep/internal/dp"
+)
+
+func ExampleMatrixChainOrder() {
+	cost, order := dp.MatrixChainOrder([]int{10, 100, 5, 50})
+	fmt.Println(cost, order)
+	// Output: 7500 ((A0 A1) A2)
+}
+
+func ExampleParenthesisCacheOblivious() {
+	// Optimal polygon-triangulation-style DP: cost of an interval is
+	// the best split plus a per-merge charge of 1.
+	n := 4
+	w := func(i, k, j int) float64 { return 1 }
+	base := make([]float64, n)
+	c := dp.ParenthesisCacheOblivious(n, w, base, 2)
+	fmt.Println(c.At(0, n)) // n-1 merges
+	// Output: 3
+}
+
+func ExampleAlignCacheOblivious() {
+	x, y := "ACGT", "AGT"
+	g := dp.GapCosts{
+		Sub: func(i, j int) float64 {
+			if x[i-1] == y[j-1] {
+				return 0
+			}
+			return 2
+		},
+		GapX: func(p, i int) float64 { return float64(i - p) },
+		GapY: func(q, j int) float64 { return float64(j - q) },
+	}
+	d := dp.AlignCacheOblivious(len(x), len(y), g, 2)
+	fmt.Println(d.At(len(x), len(y))) // delete "C": one gap of length 1
+	// Output: 1
+}
+
+func ExampleTraceback() {
+	x, y := "AT", "AGT"
+	g := dp.GapCosts{
+		Sub: func(i, j int) float64 {
+			if x[i-1] == y[j-1] {
+				return 0
+			}
+			return 2
+		},
+		GapX: func(p, i int) float64 { return float64(i-p) + 1 },
+		GapY: func(q, j int) float64 { return float64(j-q) + 1 },
+	}
+	d := dp.AlignCacheOblivious(len(x), len(y), g, 2)
+	for _, op := range dp.Traceback(d, len(x), len(y), g) {
+		fmt.Printf("%c(%d,%d) ", op.Kind, op.I, op.J)
+	}
+	fmt.Println()
+	// Output: M(1,1) Y(1,2) M(2,3)
+}

@@ -1,0 +1,60 @@
+package dp
+
+import "gep/internal/matrix"
+
+// Gotoh's O(nm) algorithm for alignment with affine gap costs
+// w(l) = open + extend·l. It is an independent oracle for the general
+// gap solvers: on affine costs all three must agree.
+
+// GotohAffine returns the full alignment cost table for sequences of
+// lengths n and m under substitution cost sub(i,j) (1-based) and
+// affine gaps.
+func GotohAffine(n, m int, sub func(i, j int) float64, open, extend float64) *matrix.Dense[float64] {
+	d := matrix.New[float64](n+1, m+1) // best cost ending anyhow
+	p := matrix.New[float64](n+1, m+1) // best cost ending in a vertical (x) gap
+	q := matrix.New[float64](n+1, m+1) // best cost ending in a horizontal (y) gap
+
+	min2 := func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+
+	d.Set(0, 0, 0)
+	p.Set(0, 0, Inf)
+	q.Set(0, 0, Inf)
+	for i := 1; i <= n; i++ {
+		gap := open + extend*float64(i)
+		d.Set(i, 0, gap)
+		p.Set(i, 0, gap)
+		q.Set(i, 0, Inf)
+	}
+	for j := 1; j <= m; j++ {
+		gap := open + extend*float64(j)
+		d.Set(0, j, gap)
+		q.Set(0, j, gap)
+		p.Set(0, j, Inf)
+	}
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			pv := min2(d.At(i-1, j)+open+extend, p.At(i-1, j)+extend)
+			qv := min2(d.At(i, j-1)+open+extend, q.At(i, j-1)+extend)
+			dv := min2(d.At(i-1, j-1)+sub(i, j), min2(pv, qv))
+			p.Set(i, j, pv)
+			q.Set(i, j, qv)
+			d.Set(i, j, dv)
+		}
+	}
+	return d
+}
+
+// AffineCosts builds the GapCosts of an affine penalty, for feeding
+// the general solvers.
+func AffineCosts(sub func(i, j int) float64, open, extend float64) GapCosts {
+	return GapCosts{
+		Sub:  sub,
+		GapX: func(p, i int) float64 { return open + extend*float64(i-p) },
+		GapY: func(q, j int) float64 { return open + extend*float64(j-q) },
+	}
+}

@@ -1,0 +1,62 @@
+package dp
+
+import (
+	"sync"
+
+	"gep/internal/matrix"
+)
+
+// Parallel variants of the DP solvers, following the same recipe as
+// multithreaded I-GEP: independent recursive calls run on goroutines
+// above a grain size. In the parenthesis problem the two half
+// triangles are independent; in both solvers the i- and j-splits of
+// the min-plus apply steps write disjoint targets and parallelize,
+// while k-splits fold into the same cells and stay sequential.
+
+// ParenthesisParallel is ParenthesisCacheOblivious with goroutine
+// execution above the given grain (in interval length).
+func ParenthesisParallel(n int, w CostFunc, base []float64, block, grain int) *matrix.Dense[float64] {
+	if block < 1 {
+		block = 1
+	}
+	if grain < block {
+		grain = block
+	}
+	c := newParenTable(n, base)
+	p := &parenSolver{c: c, w: w, block: block, grain: grain}
+	p.solve(0, n)
+	return c
+}
+
+// AlignParallel is AlignCacheOblivious with goroutine execution above
+// the given grain (in cells per side).
+func AlignParallel(n, m int, g GapCosts, block, grain int) *matrix.Dense[float64] {
+	checkGapArgs(n, m)
+	if block < 1 {
+		block = 1
+	}
+	if grain < block {
+		grain = block
+	}
+	d := newAlignTable(n, m)
+	s := &gapSolver{d: d, g: g, block: block, grain: grain}
+	s.solve(0, n, 0, m)
+	return d
+}
+
+// par2 runs two tasks, concurrently when size exceeds the grain.
+func par2(par bool, f1, f2 func()) {
+	if !par {
+		f1()
+		f2()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f1()
+	}()
+	f2()
+	wg.Wait()
+}

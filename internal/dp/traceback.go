@@ -1,0 +1,111 @@
+package dp
+
+// Alignment traceback: reconstruct the operations of an optimal
+// alignment from a completed cost table. Works with any gap costs —
+// the table plus the cost functions determine which move produced each
+// cell, the same way apsp.Path rebuilds routes from distances.
+
+// Op is one alignment operation.
+type Op struct {
+	// Kind is 'M' (match/substitute x_i with y_j), 'X' (gap in y:
+	// delete x_{p+1..i}) or 'Y' (gap in x: insert y_{q+1..j}).
+	Kind byte
+	// I, J are the 1-based end positions in x and y after the op.
+	I, J int
+	// From records the gap start (p or q) for gap ops; unused for 'M'.
+	From int
+}
+
+// Traceback returns the operations of one optimal alignment, in order,
+// given the completed table from AlignIterative/AlignCacheOblivious
+// and the same cost functions. It returns nil if the table is
+// inconsistent with the costs.
+func Traceback(d interface{ At(i, j int) float64 }, n, m int, g GapCosts) []Op {
+	var ops []Op
+	i, j := n, m
+	for i > 0 || j > 0 {
+		cur := d.At(i, j)
+		found := false
+		// Diagonal move.
+		if i > 0 && j > 0 && d.At(i-1, j-1)+g.Sub(i, j) == cur {
+			ops = append(ops, Op{Kind: 'M', I: i, J: j})
+			i, j = i-1, j-1
+			found = true
+		}
+		// Gap in y (horizontal): D[i][q] + GapY(q, j).
+		if !found && j > 0 {
+			for q := j - 1; q >= 0; q-- {
+				if d.At(i, q)+g.GapY(q, j) == cur {
+					ops = append(ops, Op{Kind: 'Y', I: i, J: j, From: q})
+					j = q
+					found = true
+					break
+				}
+			}
+		}
+		// Gap in x (vertical): D[p][j] + GapX(p, i).
+		if !found && i > 0 {
+			for p := i - 1; p >= 0; p-- {
+				if d.At(p, j)+g.GapX(p, i) == cur {
+					ops = append(ops, Op{Kind: 'X', I: i, J: j, From: p})
+					i = p
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return nil // inconsistent table/costs
+		}
+	}
+	// Reverse into forward order.
+	for a, b := 0, len(ops)-1; a < b; a, b = a+1, b-1 {
+		ops[a], ops[b] = ops[b], ops[a]
+	}
+	return ops
+}
+
+// OpsCost sums the cost of an operation sequence under g; a valid
+// traceback's cost equals the table's bottom-right cell.
+func OpsCost(ops []Op, g GapCosts) float64 {
+	total := 0.0
+	for _, op := range ops {
+		switch op.Kind {
+		case 'M':
+			total += g.Sub(op.I, op.J)
+		case 'X':
+			total += g.GapX(op.From, op.I)
+		case 'Y':
+			total += g.GapY(op.From, op.J)
+		}
+	}
+	return total
+}
+
+// OpsCoverSequences reports whether ops is a complete monotone cover
+// of x[1..n] and y[1..m] (every position consumed exactly once).
+func OpsCoverSequences(ops []Op, n, m int) bool {
+	i, j := 0, 0
+	for _, op := range ops {
+		switch op.Kind {
+		case 'M':
+			if op.I != i+1 || op.J != j+1 {
+				return false
+			}
+			i, j = op.I, op.J
+		case 'X':
+			if op.From != i || op.I <= i {
+				return false
+			}
+			i = op.I
+		case 'Y':
+			if op.From != j || op.J <= j {
+				return false
+			}
+			j = op.J
+		default:
+			return false
+		}
+	}
+	return i == n && j == m
+}

@@ -1,0 +1,373 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"gep/internal/matrix"
+)
+
+// Gaussian elimination / LU decomposition without pivoting, in the
+// paper's three forms (§4.2, Figure 10): naive GEP, cache-aware tiled
+// ("BLAS substitute"), and cache-oblivious I-GEP. All variants compute
+// the in-place LU factorization: after the call, the strict lower
+// triangle holds L (unit diagonal implicit) and the upper triangle
+// holds U. Inputs must be factorizable without pivoting (e.g.
+// diagonally dominant).
+
+// GEFlops returns the flop count of an n×n elimination (~2n³/3), the
+// %-of-peak denominator for Figure 10.
+func GEFlops(n int) float64 {
+	nf := float64(n)
+	return 2 * nf * nf * nf / 3
+}
+
+// LUGEP is the pure GEP-form baseline: the triple loop of Figure 1
+// over the LU update set with f(x,u,v,w) = x/w when j == k and
+// x − u·v otherwise. One division per multiplier, O(n³/B) misses.
+func LUGEP(c *matrix.Dense[float64]) {
+	n := c.N()
+	for k := 0; k < n; k++ {
+		for i := k + 1; i < n; i++ {
+			ci := c.Row(i)
+			ck := c.Row(k)
+			// j == k: multiplier (the division stays in the inner
+			// loop structure, as written GEP performs it).
+			ci[k] = ci[k] / ck[k]
+			for j := k + 1; j < n; j++ {
+				ci[j] -= ci[k] * ck[j]
+			}
+		}
+	}
+}
+
+// LUGEPOpt is the paper's "reasonably optimized GEP": divisions
+// hoisted out of the innermost loop (o(n³) divisions) and rows
+// accessed through slices. Still O(n³/B) misses — the optimization the
+// in-core plots of Figures 8 and 10 compare I-GEP against.
+func LUGEPOpt(c *matrix.Dense[float64]) {
+	n := c.N()
+	for k := 0; k < n; k++ {
+		ck := c.Row(k)
+		piv := ck[k]
+		inv := 1 / piv
+		for i := k + 1; i < n; i++ {
+			ci := c.Row(i)
+			m := ci[k] * inv
+			ci[k] = m
+			for j := k + 1; j < n; j++ {
+				ci[j] -= m * ck[j]
+			}
+		}
+	}
+}
+
+// LUTiled is the cache-aware blocked right-looking factorization (the
+// structure of tuned BLAS/FLAME implementations): factor a column
+// panel, apply its eliminations to the row panel, then update the
+// trailing submatrix with a tiled matrix multiply.
+func LUTiled(c *matrix.Dense[float64], tile int) {
+	n := c.N()
+	if tile < 1 {
+		panic("linalg: tile must be >= 1")
+	}
+	for kk := 0; kk < n; kk += tile {
+		kMax := minInt(kk+tile, n)
+		// 1. Panel factorization: columns kk..kMax over all rows below.
+		for k := kk; k < kMax; k++ {
+			ck := c.Row(k)
+			inv := 1 / ck[k]
+			for i := k + 1; i < n; i++ {
+				ci := c.Row(i)
+				m := ci[k] * inv
+				ci[k] = m
+				for j := k + 1; j < kMax; j++ {
+					ci[j] -= m * ck[j]
+				}
+			}
+		}
+		// 2. Row-panel update: apply L11's eliminations to A12
+		// (forward substitution with the unit lower triangle).
+		for k := kk; k < kMax; k++ {
+			ck := c.Row(k)
+			for i := k + 1; i < kMax; i++ {
+				ci := c.Row(i)
+				m := ci[k]
+				for j := kMax; j < n; j++ {
+					ci[j] -= m * ck[j]
+				}
+			}
+		}
+		// 3. Trailing update: A22 -= L21 · U12, tiled.
+		for ii := kMax; ii < n; ii += tile {
+			iTop := minInt(ii+tile, n)
+			for jj := kMax; jj < n; jj += tile {
+				jTop := minInt(jj+tile, n)
+				negMulBlock(c, ii, iTop, kk, kMax, jj, jTop)
+			}
+		}
+	}
+}
+
+// negMulBlock computes C[i0:i1, j0:j1] -= C[i0:i1, k0:k1]·C[k0:k1, j0:j1]
+// (L-panel times U-panel of the same matrix; the regions are disjoint),
+// k-unrolled by 4.
+func negMulBlock(c *matrix.Dense[float64], i0, i1, k0, k1, j0, j1 int) {
+	for i := i0; i < i1; i++ {
+		ci := c.Row(i)[j0:j1]
+		li := c.Row(i)
+		k := k0
+		for ; k+3 < k1; k += 4 {
+			l0, l1, l2, l3 := li[k], li[k+1], li[k+2], li[k+3]
+			u0 := c.Row(k)[j0:j1]
+			u1 := c.Row(k + 1)[j0:j1]
+			u2 := c.Row(k + 2)[j0:j1]
+			u3 := c.Row(k + 3)[j0:j1]
+			for j := range ci {
+				ci[j] -= l0*u0[j] + l1*u1[j] + l2*u2[j] + l3*u3[j]
+			}
+		}
+		for ; k < k1; k++ {
+			lk := li[k]
+			uk := c.Row(k)[j0:j1]
+			for j := range ci {
+				ci[j] -= lk * uk[j]
+			}
+		}
+	}
+}
+
+// LUIGEP is the cache-oblivious I-GEP factorization: the A/B/C/D
+// recursion of Figure 6 specialized to the LU update set
+// {k < i ∧ k <= j}, with a G-order iterative kernel at base×base
+// blocks. n must be a power of two.
+func LUIGEP(c *matrix.Dense[float64], base int) {
+	n := c.N()
+	if n == 0 {
+		return
+	}
+	if !matrix.IsPow2(n) {
+		panic(fmt.Sprintf("linalg: LUIGEP needs power-of-two n, got %d", n))
+	}
+	if base < 1 {
+		base = 1
+	}
+	luRec(c, 0, 0, 0, n, base, 0)
+}
+
+// LUIGEPParallel runs the same recursion with Figure 6's parallel
+// groups on goroutines down to the given grain.
+func LUIGEPParallel(c *matrix.Dense[float64], base, grain int) {
+	n := c.N()
+	if n == 0 {
+		return
+	}
+	if !matrix.IsPow2(n) {
+		panic(fmt.Sprintf("linalg: LUIGEPParallel needs power-of-two n, got %d", n))
+	}
+	if base < 1 {
+		base = 1
+	}
+	if grain < base {
+		grain = base
+	}
+	luRec(c, 0, 0, 0, n, base, grain)
+}
+
+// luRec is the LU-specialized multithreaded I-GEP recursion. grain = 0
+// disables parallelism; otherwise parallel groups spawn while s > grain.
+func luRec(c *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
+	// Prune using the LU set's box test: need some i > k and j >= k.
+	if xi+s-1 <= k0 || xj+s-1 < k0 {
+		return
+	}
+	if s <= base {
+		if xi >= k0+s && xj >= k0+s {
+			// Pure D block: every multiplier c[i,k] and pivot row
+			// entry c[k,j] is already final, so the block update is
+			// exactly C -= L·U — run the register-blocked GEMM kernel
+			// (the paper's optimized iterative base case).
+			negMulBlock(c, xi, xi+s, k0, k0+s, xj, xj+s)
+			return
+		}
+		luKernel(c, xi, xj, k0, s)
+		return
+	}
+	h := s / 2
+	par := grain > 0 && s > grain
+	run2 := func(f1, f2 func()) {
+		if !par {
+			f1()
+			f2()
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); f1() }()
+		f2()
+		wg.Wait()
+	}
+	run4 := func(fs ...func()) {
+		if !par {
+			for _, f := range fs {
+				f()
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(fs) - 1)
+		for _, f := range fs[:len(fs)-1] {
+			f := f
+			go func() { defer wg.Done(); f() }()
+		}
+		fs[len(fs)-1]()
+		wg.Wait()
+	}
+	iK, jK := xi == k0, xj == k0
+	switch {
+	case iK && jK: // A
+		luRec(c, xi, xj, k0, h, base, grain)
+		run2(func() { luRec(c, xi, xj+h, k0, h, base, grain) },
+			func() { luRec(c, xi+h, xj, k0, h, base, grain) })
+		luRec(c, xi+h, xj+h, k0, h, base, grain)
+		luRec(c, xi+h, xj+h, k0+h, h, base, grain)
+		run2(func() { luRec(c, xi+h, xj, k0+h, h, base, grain) },
+			func() { luRec(c, xi, xj+h, k0+h, h, base, grain) })
+		luRec(c, xi, xj, k0+h, h, base, grain)
+	case iK: // B
+		run2(func() { luRec(c, xi, xj, k0, h, base, grain) },
+			func() { luRec(c, xi, xj+h, k0, h, base, grain) })
+		run2(func() { luRec(c, xi+h, xj, k0, h, base, grain) },
+			func() { luRec(c, xi+h, xj+h, k0, h, base, grain) })
+		run2(func() { luRec(c, xi+h, xj, k0+h, h, base, grain) },
+			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain) })
+		run2(func() { luRec(c, xi, xj, k0+h, h, base, grain) },
+			func() { luRec(c, xi, xj+h, k0+h, h, base, grain) })
+	case jK: // C
+		run2(func() { luRec(c, xi, xj, k0, h, base, grain) },
+			func() { luRec(c, xi+h, xj, k0, h, base, grain) })
+		run2(func() { luRec(c, xi, xj+h, k0, h, base, grain) },
+			func() { luRec(c, xi+h, xj+h, k0, h, base, grain) })
+		run2(func() { luRec(c, xi, xj+h, k0+h, h, base, grain) },
+			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain) })
+		run2(func() { luRec(c, xi, xj, k0+h, h, base, grain) },
+			func() { luRec(c, xi+h, xj, k0+h, h, base, grain) })
+	default: // D
+		run4(func() { luRec(c, xi, xj, k0, h, base, grain) },
+			func() { luRec(c, xi, xj+h, k0, h, base, grain) },
+			func() { luRec(c, xi+h, xj, k0, h, base, grain) },
+			func() { luRec(c, xi+h, xj+h, k0, h, base, grain) })
+		run4(func() { luRec(c, xi, xj, k0+h, h, base, grain) },
+			func() { luRec(c, xi, xj+h, k0+h, h, base, grain) },
+			func() { luRec(c, xi+h, xj, k0+h, h, base, grain) },
+			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain) })
+	}
+}
+
+// luKernel applies, in G order, all LU-set updates with i ∈ [xi,xi+s),
+// j ∈ [xj,xj+s), k ∈ [k0,k0+s). It covers every block kind: the index
+// bounds realize the membership conditions k < i, k <= j.
+func luKernel(c *matrix.Dense[float64], xi, xj, k0, s int) {
+	for k := k0; k < k0+s; k++ {
+		ck := c.Row(k)
+		iLo := xi
+		if k+1 > iLo {
+			iLo = k + 1
+		}
+		jLo := xj
+		if k+1 > jLo {
+			jLo = k + 1
+		}
+		hasMult := k >= xj && k < xj+s // the j == k (division) update
+		var inv float64
+		if hasMult {
+			inv = 1 / ck[k]
+		}
+		for i := iLo; i < xi+s; i++ {
+			ci := c.Row(i)
+			if hasMult {
+				ci[k] *= inv
+			}
+			m := ci[k]
+			for j := jLo; j < xj+s; j++ {
+				ci[j] -= m * ck[j]
+			}
+		}
+	}
+}
+
+// SolveLU solves A·x = b given the packed in-place LU factors produced
+// by any of the factorizations above (unit lower triangle implicit).
+func SolveLU(lu *matrix.Dense[float64], b []float64) []float64 {
+	n := lu.N()
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: SolveLU got %d-vector for %dx%d system", len(b), n, n))
+	}
+	y := make([]float64, n)
+	copy(y, b)
+	// Forward substitution with L (unit diagonal).
+	for i := 0; i < n; i++ {
+		ri := lu.Row(i)
+		s := y[i]
+		for j := 0; j < i; j++ {
+			s -= ri[j] * y[j]
+		}
+		y[i] = s
+	}
+	// Backward substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		ri := lu.Row(i)
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= ri[j] * y[j]
+		}
+		y[i] = s / ri[i]
+	}
+	return y
+}
+
+// MatVec returns A·x.
+func MatVec(a *matrix.Dense[float64], x []float64) []float64 {
+	n := a.N()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ri := a.Row(i)
+		s := 0.0
+		for j, v := range ri {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Residual returns the max-norm of A·x − b, the standard solve check.
+func Residual(a *matrix.Dense[float64], x, b []float64) float64 {
+	ax := MatVec(a, x)
+	worst := 0.0
+	for i := range ax {
+		if d := math.Abs(ax[i] - b[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// MaxAbsDiff returns the largest element-wise |a-b|, used to compare
+// factorizations that associate floating-point work differently.
+func MaxAbsDiff(a, b *matrix.Dense[float64]) float64 {
+	if a.N() != b.N() {
+		panic("linalg: MaxAbsDiff size mismatch")
+	}
+	worst := 0.0
+	for i := 0; i < a.N(); i++ {
+		ra, rb := a.Row(i), b.Row(i)
+		for j := range ra {
+			if d := math.Abs(ra[j] - rb[j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,106 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gep/internal/matrix"
+)
+
+func TestDeterminantKnownValues(t *testing.T) {
+	if d := Determinant(matrix.NewSquare[float64](0)); d != 1 {
+		t.Fatalf("det of empty = %g, want 1", d)
+	}
+	a := matrix.FromRows([][]float64{{3}})
+	if d := Determinant(a); d != 3 {
+		t.Fatalf("det([[3]]) = %g", d)
+	}
+	b := matrix.FromRows([][]float64{{2, 1}, {1, 3}})
+	if d := Determinant(b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("det = %g, want 5", d)
+	}
+	// Triangular: product of the diagonal.
+	c := matrix.FromRows([][]float64{{2, 5, 7}, {0, 3, 1}, {0, 0, 4}})
+	if d := Determinant(c); math.Abs(d-24) > 1e-10 {
+		t.Fatalf("det = %g, want 24", d)
+	}
+}
+
+func TestDeterminantMultiplicative(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, n := range []int{4, 8, 16} {
+		a := diagDominant(rng, n)
+		b := diagDominant(rng, n)
+		ab := matrix.NewSquare[float64](n)
+		MulNaive(ab, a, b)
+		da, db, dab := Determinant(a), Determinant(b), Determinant(ab)
+		if rel := math.Abs(dab-da*db) / math.Abs(dab); rel > 1e-8 {
+			t.Fatalf("n=%d: det(AB) = %g, det(A)det(B) = %g (rel %g)", n, dab, da*db, rel)
+		}
+	}
+}
+
+func TestInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		a := diagDominant(rng, n)
+		inv := Invert(a)
+		prod := matrix.NewSquare[float64](n)
+		MulNaive(prod, a, inv)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				want := 0.0
+				if i == j {
+					want = 1
+				}
+				if math.Abs(prod.At(i, j)-want) > 1e-9 {
+					t.Fatalf("n=%d: (A·A⁻¹)[%d][%d] = %g", n, i, j, prod.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestSolveLUManyMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	n := 16
+	a := diagDominant(rng, n)
+	lu := a.Clone()
+	LUIGEP(lu, 8)
+	b := matrix.New[float64](n, 3)
+	b.Apply(func(i, j int, _ float64) float64 { return rng.NormFloat64() })
+	x := SolveLUMany(lu, b)
+	for c := 0; c < 3; c++ {
+		col := make([]float64, n)
+		for i := range col {
+			col[i] = b.At(i, c)
+		}
+		single := SolveLU(lu, col)
+		for i := range single {
+			if math.Abs(single[i]-x.At(i, c)) > 1e-10 {
+				t.Fatalf("col %d row %d: %g vs %g", c, i, x.At(i, c), single[i])
+			}
+		}
+	}
+}
+
+func TestSolveLUManyValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SolveLUMany(matrix.NewSquare[float64](4), matrix.New[float64](3, 2))
+}
+
+func TestInvertDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	a := diagDominant(rng, 8)
+	orig := a.Clone()
+	_ = Invert(a)
+	_ = Determinant(a)
+	if !a.EqualFunc(orig, func(x, y float64) bool { return x == y }) {
+		t.Fatal("input modified")
+	}
+}

@@ -1,0 +1,130 @@
+package linalg
+
+import (
+	"fmt"
+
+	"gep/internal/matrix"
+)
+
+// LU decomposition WITH partial pivoting. The paper's framework covers
+// elimination without pivoting only — pivoting's data-dependent row
+// exchanges fall outside GEP's fixed update set (the paper states the
+// restriction explicitly). This file provides a conventional blocked
+// right-looking LUP as the library's robust entry point for general
+// matrices, and as the correctness oracle that defines when the
+// pivot-free cache-oblivious path is safe to use.
+
+// LUP holds a P·A = L·U factorization: LU packs the factors in place
+// and Perm maps factored row index to original row index.
+type LUP struct {
+	LU   *matrix.Dense[float64]
+	Perm []int
+	// Swaps counts row exchanges (determinant sign).
+	Swaps int
+}
+
+// Factor computes P·A = L·U with partial pivoting; a is not modified.
+// It returns an error on exact singularity.
+func Factor(a *matrix.Dense[float64]) (*LUP, error) {
+	n := a.N()
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	swaps := 0
+	for k := 0; k < n; k++ {
+		// Pivot: largest |c[i][k]| for i >= k.
+		p, best := k, abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := abs(lu.At(i, k)); v > best {
+				p, best = i, v
+			}
+		}
+		if best == 0 {
+			return nil, fmt.Errorf("linalg: singular at column %d", k)
+		}
+		if p != k {
+			rp, rk := lu.Row(p), lu.Row(k)
+			for j := 0; j < n; j++ {
+				rp[j], rk[j] = rk[j], rp[j]
+			}
+			perm[p], perm[k] = perm[k], perm[p]
+			swaps++
+		}
+		ck := lu.Row(k)
+		inv := 1 / ck[k]
+		for i := k + 1; i < n; i++ {
+			ci := lu.Row(i)
+			m := ci[k] * inv
+			ci[k] = m
+			for j := k + 1; j < n; j++ {
+				ci[j] -= m * ck[j]
+			}
+		}
+	}
+	return &LUP{LU: lu, Perm: perm, Swaps: swaps}, nil
+}
+
+// Solve solves A·x = b using the pivoted factors.
+func (f *LUP) Solve(b []float64) []float64 {
+	n := f.LU.N()
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: LUP.Solve got %d-vector for %dx%d system", len(b), n, n))
+	}
+	// Apply the permutation, then the usual substitutions.
+	pb := make([]float64, n)
+	for i, src := range f.Perm {
+		pb[i] = b[src]
+	}
+	return SolveLU(f.LU, pb)
+}
+
+// Det returns det(A) from the pivoted factors.
+func (f *LUP) Det() float64 {
+	det := 1.0
+	for i := 0; i < f.LU.N(); i++ {
+		det *= f.LU.At(i, i)
+	}
+	if f.Swaps%2 == 1 {
+		det = -det
+	}
+	return det
+}
+
+// NeedsPivoting reports whether pivot-free elimination of a is
+// numerically risky: it runs a trial factorization and reports true if
+// any pivot-free pivot is zero or any multiplier exceeds the given
+// growth bound (e.g. 16). It is the guard a caller can use to pick
+// between the cache-oblivious pivot-free path (LUIGEP) and Factor.
+func NeedsPivoting(a *matrix.Dense[float64], growth float64) bool {
+	n := a.N()
+	lu := a.Clone()
+	for k := 0; k < n; k++ {
+		ck := lu.Row(k)
+		piv := ck[k]
+		if piv == 0 {
+			return true
+		}
+		inv := 1 / piv
+		for i := k + 1; i < n; i++ {
+			ci := lu.Row(i)
+			m := ci[k] * inv
+			if m > growth || m < -growth {
+				return true
+			}
+			ci[k] = m
+			for j := k + 1; j < n; j++ {
+				ci[j] -= m * ck[j]
+			}
+		}
+	}
+	return false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,116 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"gep/internal/matrix"
+)
+
+func TestFactorSolvesGeneralMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		// General (not diagonally dominant) random matrix: pivot-free
+		// elimination would be unstable or break; LUP must handle it.
+		a := matrix.NewSquare[float64](n)
+		a.Apply(func(i, j int, _ float64) float64 { return rng.NormFloat64() })
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		b := MatVec(a, x)
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		got := f.Solve(b)
+		if r := Residual(a, got, b); r > 1e-8 {
+			t.Fatalf("n=%d: residual %g", n, r)
+		}
+	}
+}
+
+func TestFactorNeedsPivotingCase(t *testing.T) {
+	// Zero leading pivot: pivot-free elimination is impossible; LUP
+	// succeeds.
+	a := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
+	if !NeedsPivoting(a, 16) {
+		t.Fatal("zero pivot not detected")
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{2, 3})
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v, want [3 2]", x)
+	}
+	if d := f.Det(); d != -1 {
+		t.Fatalf("det = %g, want -1", d)
+	}
+}
+
+func TestFactorSingular(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factor(a); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestLUPDetMatchesPivotFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for _, n := range []int{3, 8, 17} {
+		a := matrix.NewSquare[float64](n)
+		a.Apply(func(i, j int, _ float64) float64 {
+			if i == j {
+				return float64(2 * n)
+			}
+			return rng.Float64()
+		})
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dPivot := f.Det()
+		dFree := Determinant(a)
+		if rel := math.Abs(dPivot-dFree) / math.Abs(dPivot); rel > 1e-8 {
+			t.Fatalf("n=%d: pivoted det %g vs pivot-free %g", n, dPivot, dFree)
+		}
+	}
+}
+
+func TestNeedsPivotingAcceptsDominant(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := diagDominant(rng, 16)
+	if NeedsPivoting(a, 16) {
+		t.Fatal("diagonally dominant matrix flagged")
+	}
+}
+
+func TestFactorDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	a := matrix.NewSquare[float64](6)
+	a.Apply(func(i, j int, _ float64) float64 { return rng.NormFloat64() })
+	orig := a.Clone()
+	if _, err := Factor(a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.EqualFunc(orig, func(x, y float64) bool { return x == y }) {
+		t.Fatal("Factor modified its input")
+	}
+}
+
+func TestLUPSolveValidation(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 0}, {0, 1}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.Solve([]float64{1})
+}

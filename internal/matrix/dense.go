@@ -1,0 +1,284 @@
+// Package matrix provides the dense-matrix substrate used by the GEP
+// (Gaussian Elimination Paradigm) framework: row-major storage with
+// strided submatrix views, bit-interleaved (Morton) tiled layouts, and
+// power-of-two padding.
+//
+// The GEP algorithms (see internal/core) access matrices through the
+// small Grid interface so that the same algorithm code can run over
+// in-core matrices, cache-simulator tracers, and out-of-core stores.
+package matrix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Rect is the minimal element accessor: any rows×cols indexable store.
+// C-GEP's auxiliary matrices only need Rect.
+type Rect[T any] interface {
+	// At returns the element at row i, column j (0-based).
+	At(i, j int) T
+	// Set stores v at row i, column j (0-based).
+	Set(i, j int, v T)
+}
+
+// Grid is the minimal accessor interface the GEP algorithms require.
+// Grids are square; N reports the side length. Implementations include
+// *Dense[T] (in-core), cachesim tracing wrappers, and ooc file-backed
+// matrices.
+type Grid[T any] interface {
+	// N returns the side length of the square grid.
+	N() int
+	// At returns the element at row i, column j (0-based).
+	At(i, j int) T
+	// Set stores v at row i, column j (0-based).
+	Set(i, j int, v T)
+}
+
+// Dense is a dense rows×cols matrix stored in row-major order. A Dense
+// may be a view into a larger matrix (stride > cols), in which case it
+// shares storage with its parent.
+type Dense[T any] struct {
+	data   []T
+	rows   int
+	cols   int
+	stride int
+}
+
+// New returns a zero-initialized rows×cols dense matrix.
+func New[T any](rows, cols int) *Dense[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense[T]{
+		data:   make([]T, rows*cols),
+		rows:   rows,
+		cols:   cols,
+		stride: cols,
+	}
+}
+
+// NewSquare returns a zero-initialized n×n dense matrix.
+func NewSquare[T any](n int) *Dense[T] { return New[T](n, n) }
+
+// FromRows builds a dense matrix from a slice of equal-length rows,
+// copying the data.
+func FromRows[T any](rows [][]T) *Dense[T] {
+	r := len(rows)
+	if r == 0 {
+		return New[T](0, 0)
+	}
+	c := len(rows[0])
+	m := New[T](r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// FromSlice builds an r×c dense matrix from row-major data, copying it.
+func FromSlice[T any](r, c int, data []T) *Dense[T] {
+	if len(data) != r*c {
+		panic(fmt.Sprintf("matrix: FromSlice got %d elements, want %d", len(data), r*c))
+	}
+	m := New[T](r, c)
+	copy(m.data, data)
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense[T]) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense[T]) Cols() int { return m.cols }
+
+// Stride returns the row stride of the underlying storage.
+func (m *Dense[T]) Stride() int { return m.stride }
+
+// N returns the side length of a square matrix and panics otherwise.
+// It makes *Dense[T] satisfy Grid[T].
+func (m *Dense[T]) N() int {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("matrix: N() on non-square %dx%d matrix", m.rows, m.cols))
+	}
+	return m.rows
+}
+
+// At returns the element at row i, column j.
+func (m *Dense[T]) At(i, j int) T {
+	m.check(i, j)
+	return m.data[i*m.stride+j]
+}
+
+// Set stores v at row i, column j.
+func (m *Dense[T]) Set(i, j int, v T) {
+	m.check(i, j)
+	m.data[i*m.stride+j] = v
+}
+
+func (m *Dense[T]) check(i, j int) {
+	if uint(i) >= uint(m.rows) || uint(j) >= uint(m.cols) {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns row i as a slice sharing the matrix storage.
+func (m *Dense[T]) Row(i int) []T {
+	if uint(i) >= uint(m.rows) {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	return m.data[i*m.stride : i*m.stride+m.cols]
+}
+
+// Data returns the underlying storage when the matrix is contiguous
+// (stride == cols); it panics for strided views. It exists for
+// performance-sensitive kernels that index the flat slice directly.
+func (m *Dense[T]) Data() []T {
+	if m.stride != m.cols {
+		panic("matrix: Data() on strided view")
+	}
+	return m.data
+}
+
+// Sub returns an r×c view of m starting at (i, j). The view shares
+// storage with m: writes through either are visible in both.
+func (m *Dense[T]) Sub(i, j, r, c int) *Dense[T] {
+	if i < 0 || j < 0 || r < 0 || c < 0 || i+r > m.rows || j+c > m.cols {
+		panic(fmt.Sprintf("matrix: Sub(%d,%d,%d,%d) out of range %dx%d", i, j, r, c, m.rows, m.cols))
+	}
+	return &Dense[T]{
+		data:   m.data[i*m.stride+j:],
+		rows:   r,
+		cols:   c,
+		stride: m.stride,
+	}
+}
+
+// Clone returns a deep copy of m as a contiguous matrix.
+func (m *Dense[T]) Clone() *Dense[T] {
+	out := New[T](m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		copy(out.Row(i), m.Row(i))
+	}
+	return out
+}
+
+// CopyFrom copies src into m; dimensions must match.
+func (m *Dense[T]) CopyFrom(src *Dense[T]) {
+	if m.rows != src.rows || m.cols != src.cols {
+		panic(fmt.Sprintf("matrix: CopyFrom dimension mismatch %dx%d vs %dx%d", m.rows, m.cols, src.rows, src.cols))
+	}
+	for i := 0; i < m.rows; i++ {
+		copy(m.Row(i), src.Row(i))
+	}
+}
+
+// Fill sets every element of m to v.
+func (m *Dense[T]) Fill(v T) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = v
+		}
+	}
+}
+
+// Apply replaces each element with f(i, j, m[i][j]).
+func (m *Dense[T]) Apply(f func(i, j int, v T) T) {
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = f(i, j, row[j])
+		}
+	}
+}
+
+// EqualFunc reports whether m and b have identical shape and eq holds
+// element-wise.
+func (m *Dense[T]) EqualFunc(b *Dense[T], eq func(a, b T) bool) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		ra, rb := m.Row(i), b.Row(i)
+		for j := range ra {
+			if !eq(ra[j], rb[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Equal reports whether two matrices of a comparable element type are
+// identical in shape and content.
+func Equal[T comparable](a, b *Dense[T]) bool {
+	return a.EqualFunc(b, func(x, y T) bool { return x == y })
+}
+
+// String renders the matrix for debugging; large matrices are elided.
+func (m *Dense[T]) String() string {
+	const maxSide = 16
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%dx%d", m.rows, m.cols)
+	if m.rows > maxSide || m.cols > maxSide {
+		sb.WriteString(" (elided)")
+		return sb.String()
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%v", m.At(i, j))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// GridEqualFunc reports whether two grids have the same side length and
+// eq holds element-wise. It is layout-agnostic.
+func GridEqualFunc[T any](a, b Grid[T], eq func(x, y T) bool) bool {
+	n := a.N()
+	if b.N() != n {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if !eq(a.At(i, j), b.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CopyGrid copies src into dst element-wise; side lengths must match.
+func CopyGrid[T any](dst, src Grid[T]) {
+	n := src.N()
+	if dst.N() != n {
+		panic(fmt.Sprintf("matrix: CopyGrid size mismatch %d vs %d", dst.N(), n))
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			dst.Set(i, j, src.At(i, j))
+		}
+	}
+}
+
+// Transpose returns a fresh matrix with rows and columns exchanged.
+func (m *Dense[T]) Transpose() *Dense[T] {
+	out := New[T](m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			out.Set(j, i, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package matrix
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New[int](3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	m.Set(2, 3, 42)
+	if m.At(2, 3) != 42 {
+		t.Fatalf("At(2,3) = %d, want 42", m.At(2, 3))
+	}
+	if m.At(0, 0) != 0 {
+		t.Fatal("zero value not zero")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	m := New[int](2, 2)
+	for _, fn := range []func(){
+		func() { m.At(2, 0) },
+		func() { m.At(0, 2) },
+		func() { m.At(-1, 0) },
+		func() { m.Set(0, -1, 1) },
+		func() { m.Row(2) },
+		func() { m.Sub(1, 1, 2, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFromRowsAndEqual(t *testing.T) {
+	a := FromRows([][]int{{1, 2}, {3, 4}})
+	b := FromSlice(2, 2, []int{1, 2, 3, 4})
+	if !Equal(a, b) {
+		t.Fatal("FromRows != FromSlice for same data")
+	}
+	b.Set(1, 1, 5)
+	if Equal(a, b) {
+		t.Fatal("Equal true after modification")
+	}
+}
+
+func TestSubViewSharesStorage(t *testing.T) {
+	m := New[int](4, 4)
+	v := m.Sub(1, 1, 2, 2)
+	v.Set(0, 0, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("view write not visible in parent")
+	}
+	m.Set(2, 2, 7)
+	if v.At(1, 1) != 7 {
+		t.Fatal("parent write not visible in view")
+	}
+	if v.Stride() != 4 {
+		t.Fatalf("view stride = %d, want 4", v.Stride())
+	}
+}
+
+func TestSubViewRow(t *testing.T) {
+	m := New[int](4, 6)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 6; j++ {
+			m.Set(i, j, i*10+j)
+		}
+	}
+	v := m.Sub(1, 2, 2, 3)
+	row := v.Row(1)
+	if len(row) != 3 || row[0] != 22 || row[2] != 24 {
+		t.Fatalf("view row = %v", row)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := FromRows([][]int{{1, 2}, {3, 4}})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Fatal("clone shares storage")
+	}
+	// Cloning a strided view yields a contiguous copy.
+	v := m.Sub(0, 1, 2, 1).Clone()
+	if v.Stride() != v.Cols() {
+		t.Fatal("clone of view is strided")
+	}
+	if v.At(0, 0) != 2 || v.At(1, 0) != 4 {
+		t.Fatal("clone of view has wrong data")
+	}
+}
+
+func TestDataPanicsOnView(t *testing.T) {
+	m := New[int](4, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Sub(0, 0, 2, 2).Data()
+}
+
+func TestFillApply(t *testing.T) {
+	m := New[int](3, 3)
+	m.Fill(5)
+	m.Apply(func(i, j, v int) int { return v + i + j })
+	if m.At(2, 2) != 9 || m.At(0, 0) != 5 {
+		t.Fatalf("Apply wrong: %v", m)
+	}
+}
+
+func TestGridHelpers(t *testing.T) {
+	a := FromRows([][]int{{1, 2}, {3, 4}})
+	b := NewSquare[int](2)
+	CopyGrid[int](b, a)
+	if !GridEqualFunc[int](a, b, func(x, y int) bool { return x == y }) {
+		t.Fatal("CopyGrid/GridEqualFunc round trip failed")
+	}
+	b.Set(0, 0, 0)
+	if GridEqualFunc[int](a, b, func(x, y int) bool { return x == y }) {
+		t.Fatal("GridEqualFunc missed difference")
+	}
+}
+
+func TestNPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](2, 3).N()
+}
+
+// Property: Sub composes — a sub-view of a sub-view addresses the same
+// cells as a single combined sub-view.
+func TestSubComposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := New[int](8, 8)
+		m.Apply(func(i, j, _ int) int { return rng.Int() })
+		v1 := m.Sub(1, 2, 6, 5)
+		v2 := v1.Sub(2, 1, 3, 3)
+		direct := m.Sub(3, 3, 3, 3)
+		return Equal(v2.Clone(), direct.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: row-major flat index round trip through At/Set is total
+// and consistent for random shapes.
+func TestAtSetRoundTrip(t *testing.T) {
+	f := func(r8, c8 uint8, vals []int) bool {
+		r, c := int(r8%20)+1, int(c8%20)+1
+		m := New[int](r, c)
+		for idx, v := range vals {
+			i, j := (idx/c)%r, idx%c
+			m.Set(i, j, v)
+			if m.At(i, j) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	small := FromRows([][]int{{1, 2}, {3, 4}})
+	s := small.String()
+	if !strings.Contains(s, "2x2") || !strings.Contains(s, "1 2") {
+		t.Fatalf("String = %q", s)
+	}
+	big := New[int](20, 20)
+	if s := big.String(); !strings.Contains(s, "elided") {
+		t.Fatalf("large String = %q", s)
+	}
+}
+
+func TestCopyFromMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](2, 2).CopyFrom(New[int](3, 3))
+}
+
+func TestCopyGridMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CopyGrid[int](NewSquare[int](2), NewSquare[int](3))
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]int{{1, 2}, {3}})
+}
+
+func TestFromSliceWrongLenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice(2, 2, []int{1, 2, 3})
+}
+
+func TestNegativeDimsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New[int](-1, 2)
+}
+
+func TestEqualFuncShapeMismatch(t *testing.T) {
+	if New[int](2, 3).EqualFunc(New[int](3, 2), func(a, b int) bool { return true }) {
+		t.Fatal("shape mismatch reported equal")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m := FromRows[int](nil)
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("empty FromRows: %dx%d", m.Rows(), m.Cols())
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]int{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("transpose wrong at (%d,%d)", i, j)
+			}
+		}
+	}
+	back := tr.Transpose()
+	if !Equal(m, back) {
+		t.Fatal("double transpose not identity")
+	}
+}

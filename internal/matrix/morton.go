@@ -1,0 +1,141 @@
+package matrix
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Morton (Z-order) index math. The paper (§4.2) stores base-case blocks
+// in a bit-interleaved layout — block coordinates are Morton-interleaved
+// so that recursive quadrants are contiguous in memory, reducing TLB
+// misses — while elements inside a block stay row-major for prefetcher
+// friendliness. MortonIndex and Tiled implement that layout.
+
+// MortonIndex interleaves the bits of i and j (j provides the
+// low-order bit) producing the Z-order index of cell (i, j).
+func MortonIndex(i, j int) int {
+	return int(spread(uint32(i))<<1 | spread(uint32(j)))
+}
+
+// MortonDecode is the inverse of MortonIndex.
+func MortonDecode(z int) (i, j int) {
+	return int(compact(uint64(z) >> 1)), int(compact(uint64(z)))
+}
+
+// spread inserts a zero bit above every bit of x: abc -> 0a0b0c.
+func spread(x uint32) uint64 {
+	v := uint64(x)
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compact removes the interleaved zero bits: 0a0b0c -> abc.
+func compact(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}
+
+// Tiled is an n×n matrix in the paper's bit-interleaved layout: the
+// matrix is partitioned into block×block tiles; tiles are laid out in
+// Morton order of their tile coordinates; elements within a tile are
+// row-major. n and block must be powers of two with block <= n.
+type Tiled[T any] struct {
+	data  []T
+	n     int
+	block int
+	// blockShift = log2(block), blockMask = block-1, area = block².
+	blockShift int
+	blockMask  int
+	area       int
+}
+
+// NewTiled returns a zero-initialized n×n tiled matrix with the given
+// tile side.
+func NewTiled[T any](n, block int) *Tiled[T] {
+	if !IsPow2(n) || !IsPow2(block) || block > n {
+		panic(fmt.Sprintf("matrix: NewTiled(%d, %d): need powers of two with block <= n", n, block))
+	}
+	return &Tiled[T]{
+		data:       make([]T, n*n),
+		n:          n,
+		block:      block,
+		blockShift: bits.TrailingZeros(uint(block)),
+		blockMask:  block - 1,
+		area:       block * block,
+	}
+}
+
+// N returns the side length.
+func (t *Tiled[T]) N() int { return t.n }
+
+// Block returns the tile side length.
+func (t *Tiled[T]) Block() int { return t.block }
+
+// Index returns the flat offset of cell (i, j) in the tiled layout.
+func (t *Tiled[T]) Index(i, j int) int {
+	bi, bj := i>>t.blockShift, j>>t.blockShift
+	within := (i&t.blockMask)<<t.blockShift | j&t.blockMask
+	return MortonIndex(bi, bj)*t.area + within
+}
+
+// At returns the element at (i, j).
+func (t *Tiled[T]) At(i, j int) T { return t.data[t.Index(i, j)] }
+
+// Set stores v at (i, j).
+func (t *Tiled[T]) Set(i, j int, v T) { t.data[t.Index(i, j)] = v }
+
+// Data returns the underlying flat storage in layout order.
+func (t *Tiled[T]) Data() []T { return t.data }
+
+// TileData returns the block×block row-major slice holding tile
+// (bi, bj) of the matrix (tile coordinates, not element coordinates).
+func (t *Tiled[T]) TileData(bi, bj int) []T {
+	off := MortonIndex(bi, bj) * t.area
+	return t.data[off : off+t.area]
+}
+
+// FromDense converts a row-major square matrix into tiled layout.
+// This is the "convert to bit-interleaved format" step whose cost the
+// paper includes in its reported times.
+func (t *Tiled[T]) FromDense(a *Dense[T]) {
+	n := a.N()
+	if n != t.n {
+		panic(fmt.Sprintf("matrix: FromDense size mismatch %d vs %d", n, t.n))
+	}
+	for bi := 0; bi < n>>t.blockShift; bi++ {
+		for bj := 0; bj < n>>t.blockShift; bj++ {
+			tile := t.TileData(bi, bj)
+			for r := 0; r < t.block; r++ {
+				copy(tile[r<<t.blockShift:(r+1)<<t.blockShift],
+					a.Row(bi<<t.blockShift + r)[bj<<t.blockShift:(bj+1)<<t.blockShift])
+			}
+		}
+	}
+}
+
+// ToDense converts back to a row-major matrix.
+func (t *Tiled[T]) ToDense() *Dense[T] {
+	a := NewSquare[T](t.n)
+	for bi := 0; bi < t.n>>t.blockShift; bi++ {
+		for bj := 0; bj < t.n>>t.blockShift; bj++ {
+			tile := t.TileData(bi, bj)
+			for r := 0; r < t.block; r++ {
+				copy(a.Row(bi<<t.blockShift + r)[bj<<t.blockShift:(bj+1)<<t.blockShift],
+					tile[r<<t.blockShift:(r+1)<<t.blockShift])
+			}
+		}
+	}
+	return a
+}
+
+var _ Grid[int] = (*Tiled[int])(nil)
+var _ Grid[int] = (*Dense[int])(nil)

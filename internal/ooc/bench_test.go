@@ -1,0 +1,28 @@
+package ooc
+
+import "testing"
+
+func BenchmarkStoreCachedAccess(b *testing.B) {
+	s, err := Create(b.TempDir(), Config{PageSize: 4096, CacheSize: 1 << 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.WriteFloat(int64(i&4095)*8, float64(i))
+	}
+}
+
+func BenchmarkStoreFaultingAccess(b *testing.B) {
+	s, err := Create(b.TempDir(), Config{PageSize: 4096, CacheSize: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Stride past the 2-page cache so most accesses fault.
+		s.WriteFloat(int64(i%64)*4096*2+8, float64(i))
+	}
+}

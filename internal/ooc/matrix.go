@@ -1,0 +1,178 @@
+package ooc
+
+import (
+	"fmt"
+
+	"gep/internal/matrix"
+)
+
+// Matrix is an n×n float64 matrix living in a Store; it implements
+// matrix.Grid[float64], so all GEP algorithms run on it unchanged —
+// the paper's point that the in-core cache-oblivious code works
+// out-of-core without modification.
+type Matrix struct {
+	s     *Store
+	n     int
+	base  int64
+	index func(i, j int) int64
+}
+
+// LayoutFunc maps cells to element indices; see RowMajorLayout and
+// MortonTiledLayout.
+type LayoutFunc func(n int) func(i, j int) int64
+
+// RowMajorLayout stores rows contiguously.
+func RowMajorLayout(n int) func(i, j int) int64 {
+	return func(i, j int) int64 { return int64(i)*int64(n) + int64(j) }
+}
+
+// MortonTiledLayout stores block×block tiles in Morton order with
+// row-major tiles, so recursive quadrants are contiguous on disk — the
+// natural external-memory layout for I-GEP.
+func MortonTiledLayout(block int) LayoutFunc {
+	return func(n int) func(i, j int) int64 {
+		if n < block {
+			block = n
+		}
+		t := matrix.NewTiled[struct{}](n, block)
+		return func(i, j int) int64 { return int64(t.Index(i, j)) }
+	}
+}
+
+// NewMatrix places an n×n matrix at byte offset base of the store.
+func NewMatrix(s *Store, n int, base int64, layout LayoutFunc) *Matrix {
+	if base%8 != 0 {
+		panic(fmt.Sprintf("ooc: base %d not 8-aligned", base))
+	}
+	return &Matrix{s: s, n: n, base: base, index: layout(n)}
+}
+
+// N implements matrix.Grid.
+func (m *Matrix) N() int { return m.n }
+
+// At implements matrix.Grid.
+func (m *Matrix) At(i, j int) float64 {
+	return m.s.ReadFloat(m.base + m.index(i, j)*8)
+}
+
+// Set implements matrix.Grid.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.s.WriteFloat(m.base+m.index(i, j)*8, v)
+}
+
+// Bytes returns the on-disk footprint of the matrix.
+func (m *Matrix) Bytes() int64 { return int64(m.n) * int64(m.n) * 8 }
+
+// Load copies a dense in-core matrix into the store.
+func (m *Matrix) Load(src *matrix.Dense[float64]) {
+	if src.N() != m.n {
+		panic("ooc: Load size mismatch")
+	}
+	for i := 0; i < m.n; i++ {
+		row := src.Row(i)
+		for j, v := range row {
+			m.Set(i, j, v)
+		}
+	}
+}
+
+// Unload copies the matrix back into a fresh dense matrix.
+func (m *Matrix) Unload() *matrix.Dense[float64] {
+	out := matrix.NewSquare[float64](m.n)
+	for i := 0; i < m.n; i++ {
+		for j := 0; j < m.n; j++ {
+			out.Set(i, j, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Rect is a rows×cols float64 region of a Store in row-major order; it
+// implements matrix.Rect[float64] and backs C-GEP's aux matrices in
+// the out-of-core experiments.
+type Rect struct {
+	s    *Store
+	cols int64
+	base int64
+}
+
+// NewRect places a rows×cols rect at byte offset base.
+func NewRect(s *Store, rows, cols int, base int64) *Rect {
+	if base%8 != 0 {
+		panic(fmt.Sprintf("ooc: base %d not 8-aligned", base))
+	}
+	return &Rect{s: s, cols: int64(cols), base: base}
+}
+
+// At implements matrix.Rect.
+func (r *Rect) At(i, j int) float64 {
+	return r.s.ReadFloat(r.base + (int64(i)*r.cols+int64(j))*8)
+}
+
+// Set implements matrix.Rect.
+func (r *Rect) Set(i, j int, v float64) {
+	r.s.WriteFloat(r.base+(int64(i)*r.cols+int64(j))*8, v)
+}
+
+// TiledRect is a rows×cols float64 region stored as tile×tile blocks
+// (tiles in row-major order, row-major inside each tile), giving 2-D
+// locality for rectangular data such as C-GEP's aux matrices — whose
+// access pattern is column bands for u0/u1 and row bands for v0/v1,
+// both pathological in a plain row-major page layout.
+type TiledRect struct {
+	s           *Store
+	rows, cols  int
+	tile        int
+	tilesPerRow int
+	base        int64
+}
+
+// NewTiledRect places a rows×cols tiled rect at byte offset base; its
+// on-disk footprint is Bytes() (tiles are padded up to full size).
+func NewTiledRect(s *Store, rows, cols, tile int, base int64) *TiledRect {
+	if base%8 != 0 {
+		panic(fmt.Sprintf("ooc: base %d not 8-aligned", base))
+	}
+	if tile < 1 {
+		panic("ooc: tile must be >= 1")
+	}
+	if tile > rows && rows > 0 {
+		tile = rows
+	}
+	if tile > cols && cols > 0 {
+		tile = cols
+	}
+	return &TiledRect{
+		s: s, rows: rows, cols: cols, tile: tile,
+		tilesPerRow: (cols + tile - 1) / tile,
+		base:        base,
+	}
+}
+
+// Bytes returns the on-disk footprint including tile padding.
+func (r *TiledRect) Bytes() int64 {
+	tr := (r.rows + r.tile - 1) / r.tile
+	return int64(tr) * int64(r.tilesPerRow) * int64(r.tile) * int64(r.tile) * 8
+}
+
+func (r *TiledRect) index(i, j int) int64 {
+	ti, tj := i/r.tile, j/r.tile
+	within := (i%r.tile)*r.tile + j%r.tile
+	return (int64(ti)*int64(r.tilesPerRow)+int64(tj))*int64(r.tile)*int64(r.tile) + int64(within)
+}
+
+// At implements matrix.Rect.
+func (r *TiledRect) At(i, j int) float64 {
+	return r.s.ReadFloat(r.base + r.index(i, j)*8)
+}
+
+// Set implements matrix.Rect.
+func (r *TiledRect) Set(i, j int, v float64) {
+	r.s.WriteFloat(r.base+r.index(i, j)*8, v)
+}
+
+var (
+	_ matrix.Grid[float64] = (*Matrix)(nil)
+	_ matrix.Rect[float64] = (*Rect)(nil)
+	_ matrix.Rect[float64] = (*TiledRect)(nil)
+)

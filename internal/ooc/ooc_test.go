@@ -1,0 +1,251 @@
+package ooc
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+func newTestStore(t *testing.T, pageSize int, cacheSize int64) *Store {
+	t.Helper()
+	s, err := Create(t.TempDir(), Config{PageSize: pageSize, CacheSize: cacheSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := newTestStore(t, 64, 256) // 4 resident pages
+	rng := rand.New(rand.NewSource(1))
+	vals := make(map[int64]float64)
+	for i := 0; i < 2000; i++ {
+		off := int64(rng.Intn(500)) * 8
+		v := rng.NormFloat64()
+		s.WriteFloat(off, v)
+		vals[off] = v
+	}
+	for off, v := range vals {
+		if got := s.ReadFloat(off); got != v {
+			t.Fatalf("ReadFloat(%d) = %v, want %v", off, got, v)
+		}
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	s := newTestStore(t, 64, 128)
+	if got := s.ReadFloat(12345 * 8); got != 0 {
+		t.Fatalf("unwritten read = %v, want 0", got)
+	}
+}
+
+func TestEvictionAndWriteBack(t *testing.T) {
+	s := newTestStore(t, 64, 128) // 2 resident pages of 8 floats each
+	// Write to 4 distinct pages; only 2 stay resident.
+	for p := int64(0); p < 4; p++ {
+		s.WriteFloat(p*64, float64(p+1))
+	}
+	if s.Resident() != 2 {
+		t.Fatalf("resident = %d, want 2", s.Resident())
+	}
+	// All values survive eviction via write-back.
+	for p := int64(0); p < 4; p++ {
+		if got := s.ReadFloat(p * 64); got != float64(p+1) {
+			t.Fatalf("page %d lost: %v", p, got)
+		}
+	}
+	st := s.Stats()
+	if st.PageWrites == 0 {
+		t.Fatal("no write-backs recorded")
+	}
+	if st.PageReads < 4 {
+		t.Fatalf("page reads = %d, want >= 4", st.PageReads)
+	}
+}
+
+func TestHitCountingAndLRU(t *testing.T) {
+	s := newTestStore(t, 64, 128) // 2 pages
+	s.ReadFloat(0)                // page 0: fault
+	s.ReadFloat(8)                // page 0: hit
+	s.ReadFloat(64)               // page 1: fault
+	s.ReadFloat(0)                // page 0: hit (promoted)
+	s.ReadFloat(128)              // page 2: fault, evicts page 1 (LRU)
+	s.ReadFloat(0)                // page 0: hit still
+	s.ReadFloat(64)               // page 1: fault again
+	st := s.Stats()
+	if st.Faults != 4 {
+		t.Fatalf("faults = %d, want 4", st.Faults)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("hits = %d, want 3", st.Hits)
+	}
+}
+
+func TestIOTimeModel(t *testing.T) {
+	s := newTestStore(t, 1<<16, 1<<17)
+	if s.IOTime() != 0 {
+		t.Fatal("nonzero I/O time before any access")
+	}
+	s.ReadFloat(0)
+	got := s.IOTime()
+	// One page read: one seek (4.5 ms) + 64 KiB / 85 MB/s (~0.77 ms).
+	transfer := float64(1<<16) / 85e6 * float64(time.Second)
+	want := 4500*time.Microsecond + time.Duration(transfer)
+	if d := got - want; d < -time.Microsecond || d > time.Microsecond {
+		t.Fatalf("IOTime = %v, want ~%v", got, want)
+	}
+}
+
+func TestMatrixGridRoundTrip(t *testing.T) {
+	s := newTestStore(t, 512, 4096)
+	for _, layout := range []LayoutFunc{RowMajorLayout, MortonTiledLayout(4)} {
+		m := NewMatrix(s, 16, 0, layout)
+		src := matrix.NewSquare[float64](16)
+		rng := rand.New(rand.NewSource(7))
+		src.Apply(func(i, j int, _ float64) float64 { return rng.Float64() })
+		m.Load(src)
+		back := m.Unload()
+		if !back.EqualFunc(src, func(a, b float64) bool { return a == b }) {
+			t.Fatal("Load/Unload round trip failed")
+		}
+	}
+}
+
+// TestFloydWarshallOutOfCore runs the actual GEP algorithms on a
+// disk-backed matrix with a tiny RAM budget and checks the answer
+// against the in-core computation — the paper's "same code runs
+// out-of-core unchanged" claim.
+func TestFloydWarshallOutOfCore(t *testing.T) {
+	const n = 32
+	rng := rand.New(rand.NewSource(3))
+	src := matrix.NewSquare[float64](n)
+	src.Apply(func(i, j int, _ float64) float64 {
+		if i == j {
+			return 0
+		}
+		return float64(rng.Intn(1000) + 1)
+	})
+	fw := func(i, j, k int, x, u, v, w float64) float64 {
+		if d := u + v; d < x {
+			return d
+		}
+		return x
+	}
+
+	want := src.Clone()
+	core.RunGEP[float64](want, fw, core.Full{})
+
+	// RAM budget: 4 pages of 512 B = 2 KB for an 8 KB matrix.
+	s := newTestStore(t, 512, 2048)
+	m := NewMatrix(s, n, 0, MortonTiledLayout(8))
+	m.Load(src)
+	s.ResetStats()
+	core.RunIGEP[float64](m, fw, core.Full{})
+	igepStats := s.Stats()
+	got := m.Unload()
+	// Integer edge weights: min-plus sums are exact in float64.
+	if !got.EqualFunc(want, func(a, b float64) bool { return a == b }) {
+		t.Fatal("out-of-core I-GEP Floyd-Warshall differs from in-core GEP")
+	}
+	if igepStats.PageReads == 0 {
+		t.Fatal("expected page traffic with a 2 KB budget")
+	}
+
+	// And GEP on the same budget performs far more page I/O.
+	s2 := newTestStore(t, 512, 2048)
+	m2 := NewMatrix(s2, n, 0, RowMajorLayout)
+	m2.Load(src)
+	s2.ResetStats()
+	core.RunGEP[float64](m2, fw, core.Full{})
+	gepStats := s2.Stats()
+	if gepStats.PageReads <= igepStats.PageReads {
+		t.Fatalf("GEP page reads (%d) not above I-GEP's (%d)", gepStats.PageReads, igepStats.PageReads)
+	}
+}
+
+// TestCGEPOutOfCoreWithFileBackedAux runs C-GEP whose aux matrices
+// also live in the store.
+func TestCGEPOutOfCoreWithFileBackedAux(t *testing.T) {
+	const n = 16
+	rng := rand.New(rand.NewSource(4))
+	src := matrix.NewSquare[float64](n)
+	src.Apply(func(i, j int, _ float64) float64 { return float64(rng.Intn(100)) })
+	f := func(i, j, k int, x, u, v, w float64) float64 { return x + 2*u - v + 3*w }
+
+	want := src.Clone()
+	core.RunGEP[float64](want, f, core.Full{})
+
+	s := newTestStore(t, 512, 4096)
+	m := NewMatrix(s, n, 0, MortonTiledLayout(4))
+	m.Load(src)
+	next := m.Bytes()
+	factory := func(rows, cols int) matrix.Rect[float64] {
+		r := NewRect(s, rows, cols, next)
+		next += int64(rows) * int64(cols) * 8
+		return r
+	}
+	core.RunCGEP[float64](m, f, core.Full{}, core.WithAuxFactory[float64](factory))
+	got := m.Unload()
+	if !got.EqualFunc(want, func(a, b float64) bool { return a == b }) {
+		t.Fatal("out-of-core C-GEP differs from in-core GEP")
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(t.TempDir(), Config{PageSize: 100, CacheSize: 1000}); err == nil {
+		t.Fatal("page size not multiple of 8 accepted")
+	}
+	if _, err := Create(t.TempDir(), Config{PageSize: 64, CacheSize: 32}); err == nil {
+		t.Fatal("cache smaller than one page accepted")
+	}
+}
+
+func TestTiledRectRoundTrip(t *testing.T) {
+	st := newTestStore(t, 512, 8192)
+	base := int64(0)
+	for _, sh := range [][2]int{{16, 8}, {32, 16}, {10, 7}, {1, 1}} {
+		rows, cols := sh[0], sh[1]
+		r := NewTiledRect(st, rows, cols, 4, base)
+		vals := map[[2]int]float64{}
+		rng := rand.New(rand.NewSource(int64(rows)))
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				v := rng.NormFloat64()
+				r.Set(i, j, v)
+				vals[[2]int{i, j}] = v
+			}
+		}
+		for k, v := range vals {
+			if got := r.At(k[0], k[1]); got != v {
+				t.Fatalf("%dx%d: At(%d,%d) = %v, want %v", rows, cols, k[0], k[1], got, v)
+			}
+		}
+		base += r.Bytes()
+	}
+}
+
+func TestTiledRectDistinctCells(t *testing.T) {
+	st := newTestStore(t, 512, 8192)
+	r := NewTiledRect(st, 12, 9, 4, 0)
+	// Writing every cell a unique value must not alias.
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 9; j++ {
+			r.Set(i, j, float64(i*100+j))
+		}
+	}
+	for i := 0; i < 12; i++ {
+		for j := 0; j < 9; j++ {
+			if r.At(i, j) != float64(i*100+j) {
+				t.Fatalf("aliasing at (%d,%d)", i, j)
+			}
+		}
+	}
+}

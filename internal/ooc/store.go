@@ -1,0 +1,244 @@
+// Package ooc provides the out-of-core substrate for the paper's
+// external-memory experiments (§4.1): a file-backed store of float64
+// values with an in-RAM page cache of configurable size M and page
+// (block) size B, LRU replacement and dirty write-back — the role
+// STXXL plays in the paper. Counters record every page transfer, and a
+// disk-time model calibrated to the paper's Fujitsu MAP3735NC drive
+// (10K RPM, 4.5 ms average seek, ~85 MB/s transfer) converts transfer
+// counts into the "I/O wait time" the paper plots in Figure 7.
+//
+// The store is single-goroutine (the out-of-core algorithms are run
+// sequentially, as in the paper).
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Config fixes the cache geometry and the disk model of a Store.
+type Config struct {
+	// PageSize is B, the block transfer size in bytes.
+	PageSize int
+	// CacheSize is M, the RAM budget in bytes; the store keeps at most
+	// CacheSize/PageSize pages resident.
+	CacheSize int64
+	// SeekTime is charged per page transfer (default 4.5 ms, the
+	// paper's disk).
+	SeekTime time.Duration
+	// TransferRate in bytes/second (default 85 MB/s, mid-range of the
+	// paper's disk's 64.1-107.86 MB/s).
+	TransferRate float64
+}
+
+// DefaultDisk is the paper's Fujitsu MAP3735NC model.
+func DefaultDisk() Config {
+	return Config{
+		PageSize:     1 << 16,
+		CacheSize:    1 << 24,
+		SeekTime:     4500 * time.Microsecond,
+		TransferRate: 85e6,
+	}
+}
+
+// Stats are the I/O counters of a Store.
+type Stats struct {
+	PageReads  int64 // pages faulted in from disk
+	PageWrites int64 // dirty pages written back
+	Hits       int64 // accesses served from the page cache
+	Faults     int64 // accesses that required a page read
+}
+
+// Store is a file-backed float64 array with an LRU page cache.
+type Store struct {
+	f       *os.File
+	own     bool // file created by us, remove on Close
+	cfg     Config
+	maxPage int
+
+	pages      map[int64]*page
+	head, tail *page // MRU at head
+
+	stats Stats
+}
+
+type page struct {
+	id         int64
+	data       []byte
+	dirty      bool
+	prev, next *page
+}
+
+// Create makes a store backed by a fresh temporary file in dir (or the
+// default temp dir when dir is empty).
+func Create(dir string, cfg Config) (*Store, error) {
+	if cfg.PageSize <= 0 || cfg.PageSize%8 != 0 {
+		return nil, fmt.Errorf("ooc: page size %d must be a positive multiple of 8", cfg.PageSize)
+	}
+	maxPage := int(cfg.CacheSize / int64(cfg.PageSize))
+	if maxPage < 1 {
+		return nil, fmt.Errorf("ooc: cache size %d holds no %d-byte page", cfg.CacheSize, cfg.PageSize)
+	}
+	if cfg.SeekTime == 0 {
+		cfg.SeekTime = 4500 * time.Microsecond
+	}
+	if cfg.TransferRate == 0 {
+		cfg.TransferRate = 85e6
+	}
+	f, err := os.CreateTemp(dir, "gep-ooc-*.dat")
+	if err != nil {
+		return nil, fmt.Errorf("ooc: %w", err)
+	}
+	return &Store{
+		f:       f,
+		own:     true,
+		cfg:     cfg,
+		maxPage: maxPage,
+		pages:   make(map[int64]*page, maxPage+1),
+	}, nil
+}
+
+// Config returns the store's configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// Stats returns the current I/O counters.
+func (s *Store) Stats() Stats { return s.stats }
+
+// ResetStats zeroes the counters (cache contents are kept).
+func (s *Store) ResetStats() { s.stats = Stats{} }
+
+// IOTime returns the modeled disk time for the transfers counted so
+// far: every page transfer pays one seek plus PageSize/TransferRate.
+func (s *Store) IOTime() time.Duration {
+	n := s.stats.PageReads + s.stats.PageWrites
+	transfer := float64(n) * float64(s.cfg.PageSize) / s.cfg.TransferRate
+	return time.Duration(n)*s.cfg.SeekTime + time.Duration(transfer*float64(time.Second))
+}
+
+// ReadFloat returns the float64 stored at byte offset off (8-aligned).
+// Unwritten regions read as zero.
+func (s *Store) ReadFloat(off int64) float64 {
+	p := s.fault(off / int64(s.cfg.PageSize))
+	bits := binary.LittleEndian.Uint64(p.data[off%int64(s.cfg.PageSize):])
+	return math.Float64frombits(bits)
+}
+
+// WriteFloat stores v at byte offset off (8-aligned).
+func (s *Store) WriteFloat(off int64, v float64) {
+	p := s.fault(off / int64(s.cfg.PageSize))
+	binary.LittleEndian.PutUint64(p.data[off%int64(s.cfg.PageSize):], math.Float64bits(v))
+	p.dirty = true
+}
+
+// fault returns the resident page id, loading and evicting as needed.
+func (s *Store) fault(id int64) *page {
+	if p, ok := s.pages[id]; ok {
+		s.stats.Hits++
+		s.moveToFront(p)
+		return p
+	}
+	s.stats.Faults++
+	// Evict LRU page first so the buffer can be reused.
+	var buf []byte
+	if len(s.pages) >= s.maxPage {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.pages, victim.id)
+		if victim.dirty {
+			s.writePage(victim)
+		}
+		buf = victim.data
+	} else {
+		buf = make([]byte, s.cfg.PageSize)
+	}
+	p := &page{id: id, data: buf}
+	s.readPage(p)
+	s.pages[id] = p
+	s.pushFront(p)
+	return p
+}
+
+func (s *Store) readPage(p *page) {
+	s.stats.PageReads++
+	nr, err := s.f.ReadAt(p.data, p.id*int64(s.cfg.PageSize))
+	if err == io.EOF || (err == nil && nr < len(p.data)) {
+		for i := nr; i < len(p.data); i++ {
+			p.data[i] = 0
+		}
+		return
+	}
+	if err != nil {
+		panic(fmt.Sprintf("ooc: read page %d: %v", p.id, err))
+	}
+}
+
+func (s *Store) writePage(p *page) {
+	s.stats.PageWrites++
+	if _, err := s.f.WriteAt(p.data, p.id*int64(s.cfg.PageSize)); err != nil {
+		panic(fmt.Sprintf("ooc: write page %d: %v", p.id, err))
+	}
+	p.dirty = false
+}
+
+// Flush writes back every dirty resident page.
+func (s *Store) Flush() {
+	for p := s.head; p != nil; p = p.next {
+		if p.dirty {
+			s.writePage(p)
+		}
+	}
+}
+
+// Close flushes, closes and (for stores we created) removes the
+// backing file.
+func (s *Store) Close() error {
+	s.Flush()
+	name := s.f.Name()
+	err := s.f.Close()
+	if s.own {
+		if rmErr := os.Remove(name); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// Resident returns the number of pages currently cached.
+func (s *Store) Resident() int { return len(s.pages) }
+
+func (s *Store) moveToFront(p *page) {
+	if s.head == p {
+		return
+	}
+	s.unlink(p)
+	s.pushFront(p)
+}
+
+func (s *Store) unlink(p *page) {
+	if p.prev != nil {
+		p.prev.next = p.next
+	} else {
+		s.head = p.next
+	}
+	if p.next != nil {
+		p.next.prev = p.prev
+	} else {
+		s.tail = p.prev
+	}
+	p.prev, p.next = nil, nil
+}
+
+func (s *Store) pushFront(p *page) {
+	p.next = s.head
+	if s.head != nil {
+		s.head.prev = p
+	}
+	s.head = p
+	if s.tail == nil {
+		s.tail = p
+	}
+}

@@ -1,0 +1,18 @@
+package sched
+
+import "testing"
+
+func BenchmarkBuildAndSchedule(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		plan := BuildPlan(FW, 256, 16)
+		_ = Schedule(Flatten(plan), 8)
+	}
+}
+
+func BenchmarkWorkStealingSchedule(b *testing.B) {
+	tp := BuildTiledPlan(FW, 256, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ScheduleWorkStealing(tp, 8, int64(i))
+	}
+}

@@ -1,0 +1,131 @@
+package sched
+
+import "testing"
+
+func TestTiledPlanLeafFootprints(t *testing.T) {
+	tp := BuildTiledPlan(FW, 32, 8)
+	if tp.R != 4 {
+		t.Fatalf("R = %d, want 4", tp.R)
+	}
+	if len(tp.tiles) == 0 {
+		t.Fatal("no leaves recorded")
+	}
+	for i, ids := range tp.tiles {
+		if len(ids) == 0 || len(ids) > 4 {
+			t.Fatalf("leaf %d touches %d tiles", i, len(ids))
+		}
+		seen := map[int32]bool{}
+		for _, id := range ids {
+			if id < 0 || int(id) >= tp.R*tp.R {
+				t.Fatalf("leaf %d: tile %d out of range", i, id)
+			}
+			if seen[id] {
+				t.Fatalf("leaf %d: duplicate tile %d", i, id)
+			}
+			seen[id] = true
+		}
+	}
+	// Work must match the untiled plan.
+	if TotalWork(tp.Plan) != TotalWork(BuildPlan(FW, 32, 8)) {
+		t.Fatal("tiled plan work differs from plain plan")
+	}
+}
+
+func TestScheduleTraceConsistent(t *testing.T) {
+	tp := BuildTiledPlan(GE, 64, 8)
+	for _, p := range []int{1, 3, 8} {
+		makespan, log := ScheduleTrace(tp, p)
+		if len(log) != len(tp.tiles) {
+			t.Fatalf("p=%d: %d events for %d leaves", p, len(log), len(tp.tiles))
+		}
+		// Makespan must match the plain scheduler.
+		d := Flatten(tp.Plan)
+		if want := Schedule(d, p); makespan != want {
+			t.Fatalf("p=%d: trace makespan %d, Schedule %d", p, makespan, want)
+		}
+		// Processor IDs in range; starts non-decreasing.
+		prev := int64(0)
+		for _, ev := range log {
+			if ev.Proc < 0 || ev.Proc >= p {
+				t.Fatalf("bad processor %d", ev.Proc)
+			}
+			if ev.Start < prev {
+				t.Fatalf("events not in start order")
+			}
+			prev = ev.Start
+		}
+	}
+}
+
+// TestLemma31Shape: with private caches, total misses Q_p grow with p
+// (the paper's Lemma 3.1 overhead term) but stay within a modest
+// multiple of Q_1 for small p.
+func TestLemma31Shape(t *testing.T) {
+	tp := BuildTiledPlan(FW, 256, 16) // 16x16 tile grid
+	const cacheTiles = 32
+	q1 := DistributedMisses(tp, 1, cacheTiles)
+	if q1 <= 0 {
+		t.Fatal("no misses at p=1")
+	}
+	prev := q1
+	for _, p := range []int{2, 4, 8} {
+		qp := DistributedMisses(tp, p, cacheTiles)
+		if qp < q1 {
+			t.Fatalf("p=%d: distributed Q_p (%d) below Q_1 (%d)", p, qp, q1)
+		}
+		if qp > 3*q1 {
+			t.Fatalf("p=%d: Q_p (%d) more than 3x Q_1 (%d)", p, qp, q1)
+		}
+		_ = prev
+		prev = qp
+	}
+}
+
+// TestLemma32Shape: with one shared cache of unchanged size, the
+// parallel schedule's misses stay within a constant factor of the
+// sequential ones (Lemma 3.2(b)(ii)).
+func TestLemma32Shape(t *testing.T) {
+	tp := BuildTiledPlan(FW, 256, 16)
+	const cacheTiles = 32
+	q1 := SharedMisses(tp, 1, cacheTiles)
+	for _, p := range []int{2, 4, 8} {
+		qp := SharedMisses(tp, p, cacheTiles)
+		if float64(qp) > 3*float64(q1) {
+			t.Fatalf("p=%d: shared Q_p (%d) vs Q_1 (%d) exceeds constant factor", p, qp, q1)
+		}
+	}
+}
+
+// TestColdMissesLowerBound: every distinct tile must be fetched at
+// least once however large the cache.
+func TestColdMissesLowerBound(t *testing.T) {
+	tp := BuildTiledPlan(MM, 64, 16)
+	distinct := map[int32]bool{}
+	for _, ids := range tp.tiles {
+		for _, id := range ids {
+			distinct[id] = true
+		}
+	}
+	got := SharedMisses(tp, 4, 1<<20)
+	if got != int64(len(distinct)) {
+		t.Fatalf("huge-cache misses = %d, want cold count %d", got, len(distinct))
+	}
+}
+
+func TestCacheModelValidation(t *testing.T) {
+	tp := BuildTiledPlan(FW, 16, 8)
+	for _, f := range []func(){
+		func() { DistributedMisses(tp, 2, 0) },
+		func() { SharedMisses(tp, 2, 0) },
+		func() { BuildTiledPlan(FW, 10, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,249 @@
+// Package sched simulates parallel execution of multithreaded I-GEP.
+// It builds the exact task DAG induced by the A/B/C/D recursion of
+// Figure 6 (sequential steps ordered, `parallel:` groups unordered)
+// with base-case blocks as weighted leaves, then list-schedules the
+// DAG greedily on p virtual processors.
+//
+// This is the substitute for the paper's 8-processor pthreads
+// experiment (Figure 12) on hardware without 8 cores: the simulated
+// makespan T_p reflects the true work/critical-path structure, so the
+// paper's qualitative result — matrix multiplication (all-D recursion,
+// span O(n)) speeds up better than Floyd-Warshall and Gaussian
+// elimination (A recursion, span O(n log² n)) — emerges from the DAG
+// itself rather than being asserted. Greedy list scheduling obeys the
+// classic bound T_p <= T_1/p + T_inf, matching Theorem 3.1's model.
+package sched
+
+import "fmt"
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Plan is the task-structure AST of a recursion: a Leaf of weighted
+// work, a Seq of phases, or a Par of independent branches.
+type Plan interface{ isPlan() }
+
+// Leaf is a base-case block costing Work units (one unit = one
+// update).
+type Leaf struct{ Work int64 }
+
+// Seq runs its children one after another.
+type Seq []Plan
+
+// Par runs its children independently.
+type Par []Plan
+
+func (Leaf) isPlan() {}
+func (Seq) isPlan()  {}
+func (Par) isPlan()  {}
+
+// Workload selects the update set whose work profile the plan models.
+type Workload int
+
+const (
+	// FW is Floyd-Warshall: the full update set over the A recursion.
+	FW Workload = iota
+	// GE is Gaussian elimination without pivoting: the {k<i, k<j} set
+	// over the A recursion (many pruned subproblems).
+	GE
+	// MM is matrix multiplication: the full set over the all-D
+	// disjoint recursion with span O(n).
+	MM
+)
+
+func (w Workload) String() string {
+	switch w {
+	case FW:
+		return "FW"
+	case GE:
+		return "GE"
+	case MM:
+		return "MM"
+	}
+	return fmt.Sprintf("Workload(%d)", int(w))
+}
+
+// blockWork counts the updates of the workload's Σ_G inside the box
+// [xi,xi+s) × [xj,xj+s) × [k0,k0+s).
+func blockWork(w Workload, xi, xj, k0, s int) int64 {
+	switch w {
+	case FW, MM:
+		return int64(s) * int64(s) * int64(s)
+	case GE:
+		var total int64
+		for k := k0; k < k0+s; k++ {
+			rows := xi + s - maxInt(xi, k+1)
+			if rows < 0 {
+				rows = 0
+			}
+			cols := xj + s - maxInt(xj, k+1)
+			if cols < 0 {
+				cols = 0
+			}
+			total += int64(rows) * int64(cols)
+		}
+		return total
+	}
+	panic("sched: unknown workload")
+}
+
+// BuildPlan constructs the recursion plan for an n×n problem with
+// base-case (grain) side g. n and g must be powers of two with g <= n.
+func BuildPlan(w Workload, n, g int) Plan {
+	if n <= 0 || n&(n-1) != 0 || g <= 0 || g&(g-1) != 0 || g > n {
+		panic(fmt.Sprintf("sched: BuildPlan(%d, %d): need powers of two with g <= n", n, g))
+	}
+	if w == MM {
+		return mmPlan(0, 0, 0, n, g)
+	}
+	return abcdPlan(w, 0, 0, 0, n, g)
+}
+
+func abcdPlan(w Workload, xi, xj, k0, s, g int) Plan {
+	work := blockWork(w, xi, xj, k0, s)
+	if work == 0 {
+		return nil // pruned (line 1 of Figure 6)
+	}
+	if s <= g {
+		return Leaf{Work: work}
+	}
+	h := s / 2
+	rec := func(a, b, c int) Plan { return abcdPlan(w, a, b, c, h, g) }
+	iK, jK := xi == k0, xj == k0
+	var steps []Plan
+	switch {
+	case iK && jK: // A
+		steps = []Plan{
+			rec(xi, xj, k0),
+			Par{rec(xi, xj+h, k0), rec(xi+h, xj, k0)},
+			rec(xi+h, xj+h, k0),
+			rec(xi+h, xj+h, k0+h),
+			Par{rec(xi+h, xj, k0+h), rec(xi, xj+h, k0+h)},
+			rec(xi, xj, k0+h),
+		}
+	case iK: // B
+		steps = []Plan{
+			Par{rec(xi, xj, k0), rec(xi, xj+h, k0)},
+			Par{rec(xi+h, xj, k0), rec(xi+h, xj+h, k0)},
+			Par{rec(xi+h, xj, k0+h), rec(xi+h, xj+h, k0+h)},
+			Par{rec(xi, xj, k0+h), rec(xi, xj+h, k0+h)},
+		}
+	case jK: // C
+		steps = []Plan{
+			Par{rec(xi, xj, k0), rec(xi+h, xj, k0)},
+			Par{rec(xi, xj+h, k0), rec(xi+h, xj+h, k0)},
+			Par{rec(xi, xj+h, k0+h), rec(xi+h, xj+h, k0+h)},
+			Par{rec(xi, xj, k0+h), rec(xi+h, xj, k0+h)},
+		}
+	default: // D
+		steps = []Plan{
+			Par{rec(xi, xj, k0), rec(xi, xj+h, k0), rec(xi+h, xj, k0), rec(xi+h, xj+h, k0)},
+			Par{rec(xi, xj, k0+h), rec(xi, xj+h, k0+h), rec(xi+h, xj, k0+h), rec(xi+h, xj+h, k0+h)},
+		}
+	}
+	return compactSeq(steps)
+}
+
+func mmPlan(xi, xj, k0, s, g int) Plan {
+	if s <= g {
+		return Leaf{Work: int64(s) * int64(s) * int64(s)}
+	}
+	h := s / 2
+	rec := func(a, b, c int) Plan { return mmPlan(a, b, c, h, g) }
+	return compactSeq([]Plan{
+		Par{rec(xi, xj, k0), rec(xi, xj+h, k0), rec(xi+h, xj, k0), rec(xi+h, xj+h, k0)},
+		Par{rec(xi, xj, k0+h), rec(xi, xj+h, k0+h), rec(xi+h, xj, k0+h), rec(xi+h, xj+h, k0+h)},
+	})
+}
+
+// compactSeq drops nil (pruned) children and unwraps singleton groups.
+func compactSeq(steps []Plan) Plan {
+	out := make(Seq, 0, len(steps))
+	for _, s := range steps {
+		if p := compact(s); p != nil {
+			out = append(out, p)
+		}
+	}
+	switch len(out) {
+	case 0:
+		return nil
+	case 1:
+		return out[0]
+	}
+	return out
+}
+
+func compact(p Plan) Plan {
+	switch v := p.(type) {
+	case nil:
+		return nil
+	case Par:
+		out := make(Par, 0, len(v))
+		for _, c := range v {
+			if cc := compact(c); cc != nil {
+				out = append(out, cc)
+			}
+		}
+		switch len(out) {
+		case 0:
+			return nil
+		case 1:
+			return out[0]
+		}
+		return out
+	default:
+		return p
+	}
+}
+
+// TotalWork is T_1: the summed leaf work of the plan.
+func TotalWork(p Plan) int64 {
+	switch v := p.(type) {
+	case nil:
+		return 0
+	case Leaf:
+		return v.Work
+	case Seq:
+		var t int64
+		for _, c := range v {
+			t += TotalWork(c)
+		}
+		return t
+	case Par:
+		var t int64
+		for _, c := range v {
+			t += TotalWork(c)
+		}
+		return t
+	}
+	panic("sched: unknown plan node")
+}
+
+// Span is T_inf: the critical-path work of the plan.
+func Span(p Plan) int64 {
+	switch v := p.(type) {
+	case nil:
+		return 0
+	case Leaf:
+		return v.Work
+	case Seq:
+		var t int64
+		for _, c := range v {
+			t += Span(c)
+		}
+		return t
+	case Par:
+		var m int64
+		for _, c := range v {
+			if s := Span(c); s > m {
+				m = s
+			}
+		}
+		return m
+	}
+	panic("sched: unknown plan node")
+}

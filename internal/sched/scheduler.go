@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// DAG is the flattened dependence graph of a Plan. Nodes are created
+// in a topological order; zero-weight join nodes keep the edge count
+// linear in the plan size.
+type DAG struct {
+	work  []int64
+	succs [][]int32
+	preds []int32 // dependency counts
+}
+
+// Nodes returns the node count (including joins).
+func (d *DAG) Nodes() int { return len(d.work) }
+
+// Flatten converts a Plan into a DAG.
+func Flatten(p Plan) *DAG {
+	d := &DAG{}
+	entries, exits := d.build(p)
+	_ = entries
+	_ = exits
+	return d
+}
+
+func (d *DAG) newNode(work int64) int32 {
+	d.work = append(d.work, work)
+	d.succs = append(d.succs, nil)
+	d.preds = append(d.preds, 0)
+	return int32(len(d.work) - 1)
+}
+
+func (d *DAG) edge(from, to int32) {
+	d.succs[from] = append(d.succs[from], to)
+	d.preds[to]++
+}
+
+// build returns the entry and exit frontiers of the subplan.
+func (d *DAG) build(p Plan) (entries, exits []int32) {
+	switch v := p.(type) {
+	case nil:
+		return nil, nil
+	case Leaf:
+		n := d.newNode(v.Work)
+		return []int32{n}, []int32{n}
+	case Seq:
+		var firstEntries, prevExits []int32
+		for _, c := range v {
+			e, x := d.build(c)
+			if len(e) == 0 {
+				continue
+			}
+			if firstEntries == nil {
+				firstEntries = e
+			} else {
+				d.connect(prevExits, e)
+			}
+			prevExits = x
+		}
+		return firstEntries, prevExits
+	case Par:
+		var es, xs []int32
+		for _, c := range v {
+			e, x := d.build(c)
+			es = append(es, e...)
+			xs = append(xs, x...)
+		}
+		return es, xs
+	}
+	panic("sched: unknown plan node")
+}
+
+// connect joins two frontiers, inserting a zero-work barrier node when
+// a full bipartite connection would be quadratic.
+func (d *DAG) connect(from, to []int32) {
+	if len(from)*len(to) <= 4 {
+		for _, f := range from {
+			for _, t := range to {
+				d.edge(f, t)
+			}
+		}
+		return
+	}
+	join := d.newNode(0)
+	for _, f := range from {
+		d.edge(f, join)
+	}
+	for _, t := range to {
+		d.edge(join, t)
+	}
+}
+
+// event is a running task completion.
+type event struct {
+	finish int64
+	node   int32
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].finish < h[j].finish }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Schedule greedily list-schedules the DAG on p processors and returns
+// the makespan T_p in work units. Ready tasks are dispatched LIFO
+// (depth-first — at p = 1 this is the sequential execution order); a
+// zero-work task completes instantly.
+func Schedule(d *DAG, p int) int64 {
+	if p < 1 {
+		panic(fmt.Sprintf("sched: p = %d", p))
+	}
+	n := len(d.work)
+	remaining := make([]int32, n)
+	copy(remaining, d.preds)
+
+	var ready []int32
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			ready = append(ready, int32(i))
+		}
+	}
+
+	running := &eventHeap{}
+	var now int64
+	idle := p
+	done := 0
+
+	complete := func(node int32) {
+		done++
+		for _, s := range d.succs[node] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+
+	for done < n {
+		// Dispatch as many ready tasks as processors allow; zero-work
+		// join nodes complete immediately without occupying a slot.
+		for len(ready) > 0 && idle > 0 {
+			node := ready[len(ready)-1] // LIFO: depth-first, the sequential order
+			ready = ready[:len(ready)-1]
+			if d.work[node] == 0 {
+				complete(node)
+				continue
+			}
+			idle--
+			heap.Push(running, event{finish: now + d.work[node], node: node})
+		}
+		if done >= n {
+			break
+		}
+		if running.Len() == 0 {
+			panic("sched: deadlock — cyclic plan?")
+		}
+		// Advance to the next completion (draining ties).
+		ev := heap.Pop(running).(event)
+		now = ev.finish
+		idle++
+		complete(ev.node)
+		for running.Len() > 0 && (*running)[0].finish == now {
+			ev = heap.Pop(running).(event)
+			idle++
+			complete(ev.node)
+		}
+	}
+	return now
+}
+
+// Speedup is one simulated point of Figure 12.
+type Speedup struct {
+	P        int
+	Makespan int64
+	Speedup  float64
+}
+
+// SpeedupCurve schedules the plan for each processor count and reports
+// T_1/T_p.
+func SpeedupCurve(p Plan, procs []int) []Speedup {
+	d := Flatten(p)
+	t1 := Schedule(d, 1)
+	out := make([]Speedup, 0, len(procs))
+	for _, q := range procs {
+		tp := Schedule(d, q)
+		out = append(out, Speedup{P: q, Makespan: tp, Speedup: float64(t1) / float64(tp)})
+	}
+	return out
+}

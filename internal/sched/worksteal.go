@@ -1,0 +1,163 @@
+package sched
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// Randomized work stealing — the scheduler model behind Lemma 3.1(a)
+// (the Cilk bound of Frigo-Strumpen applied to I-GEP). Each processor
+// owns a deque: it pushes newly enabled tasks to the bottom and pops
+// its own work LIFO; an idle processor steals FIFO from the top of a
+// random victim. LIFO self-execution keeps a subtree on one processor
+// (good locality), while steals grab the oldest — largest — pending
+// subcomputations.
+
+// StealResult reports one simulated work-stealing run.
+type StealResult struct {
+	Makespan int64
+	Steals   int64
+	// Log lists executed leaves in start order, as ScheduleTrace does.
+	Log []LeafEvent
+}
+
+// ScheduleWorkStealing simulates the DAG of tp on p processors under
+// randomized work stealing (deterministic for a fixed seed).
+func ScheduleWorkStealing(tp *TiledPlan, p int, seed int64) StealResult {
+	d := Flatten(tp.Plan)
+	leafOf := make(map[int32]int, len(tp.tiles))
+	idx := 0
+	for node, wrk := range d.work {
+		if wrk > 0 {
+			leafOf[int32(node)] = idx
+			idx++
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	n := len(d.work)
+	remaining := make([]int32, n)
+	copy(remaining, d.preds)
+
+	deques := make([][]int32, p)
+	// Initially ready nodes go to processor 0's deque.
+	for i := 0; i < n; i++ {
+		if remaining[i] == 0 {
+			deques[0] = append(deques[0], int32(i))
+		}
+	}
+
+	running := &eventHeap{}
+	procBusy := make([]bool, p)
+	procOf := make(map[int32]int, p)
+	var now int64
+	var steals int64
+	done := 0
+	res := StealResult{}
+
+	enable := func(node int32, proc int) {
+		deques[proc] = append(deques[proc], node) // push bottom
+	}
+
+	complete := func(node int32, proc int) {
+		done++
+		for _, s := range d.succs[node] {
+			remaining[s]--
+			if remaining[s] == 0 {
+				enable(s, proc)
+			}
+		}
+	}
+
+	// acquire pops work for proc: own deque bottom (LIFO), else steal
+	// from the top of a random victim (one sweep over victims in
+	// random order).
+	acquire := func(proc int) (int32, bool) {
+		if q := deques[proc]; len(q) > 0 {
+			node := q[len(q)-1]
+			deques[proc] = q[:len(q)-1]
+			return node, true
+		}
+		order := rng.Perm(p)
+		for _, v := range order {
+			if v == proc {
+				continue
+			}
+			if q := deques[v]; len(q) > 0 {
+				node := q[0]
+				deques[v] = q[1:]
+				steals++
+				return node, true
+			}
+		}
+		return 0, false
+	}
+
+	dispatch := func() {
+		for proc := 0; proc < p; proc++ {
+			for !procBusy[proc] {
+				node, ok := acquire(proc)
+				if !ok {
+					break
+				}
+				if d.work[node] == 0 {
+					complete(node, proc)
+					continue
+				}
+				procBusy[proc] = true
+				procOf[node] = proc
+				res.Log = append(res.Log, LeafEvent{Leaf: leafOf[node], Proc: proc, Start: now})
+				heap.Push(running, event{finish: now + d.work[node], node: node})
+			}
+		}
+	}
+
+	for done < n {
+		dispatch()
+		if done >= n {
+			break
+		}
+		if running.Len() == 0 {
+			panic("sched: work-stealing deadlock")
+		}
+		ev := heap.Pop(running).(event)
+		now = ev.finish
+		proc := procOf[ev.node]
+		procBusy[proc] = false
+		complete(ev.node, proc)
+		for running.Len() > 0 && (*running)[0].finish == now {
+			ev = heap.Pop(running).(event)
+			proc = procOf[ev.node]
+			procBusy[proc] = false
+			complete(ev.node, proc)
+		}
+	}
+	res.Makespan = now
+	res.Steals = steals
+	return res
+}
+
+// DistributedMissesWS replays a work-stealing schedule through private
+// per-processor tile caches, for comparison with the greedy FIFO
+// schedule's DistributedMisses.
+func DistributedMissesWS(tp *TiledPlan, p, tiles int, seed int64) int64 {
+	if tiles < 1 {
+		panic("sched: cache must hold at least one tile")
+	}
+	res := ScheduleWorkStealing(tp, p, seed)
+	caches := make([]tileLRU, p)
+	for i := range caches {
+		caches[i].cap = tiles
+	}
+	for _, ev := range res.Log {
+		c := &caches[ev.Proc]
+		for _, t := range tp.tiles[ev.Leaf] {
+			c.access(t)
+		}
+	}
+	var total int64
+	for i := range caches {
+		total += caches[i].miss
+	}
+	return total
+}

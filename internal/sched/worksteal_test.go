@@ -1,0 +1,86 @@
+package sched
+
+import "testing"
+
+func TestWorkStealingExecutesEverything(t *testing.T) {
+	tp := BuildTiledPlan(FW, 64, 8)
+	for _, p := range []int{1, 2, 8} {
+		res := ScheduleWorkStealing(tp, p, 1)
+		if len(res.Log) != len(tp.tiles) {
+			t.Fatalf("p=%d: executed %d leaves, want %d", p, len(res.Log), len(tp.tiles))
+		}
+		// Work conservation: makespan >= T1/p and >= span.
+		t1 := TotalWork(tp.Plan)
+		if res.Makespan < t1/int64(p) {
+			t.Fatalf("p=%d: makespan %d below T1/p", p, res.Makespan)
+		}
+		if sp := Span(tp.Plan); res.Makespan < sp {
+			t.Fatalf("p=%d: makespan %d below span %d", p, res.Makespan, sp)
+		}
+	}
+}
+
+func TestWorkStealingSerialNoSteals(t *testing.T) {
+	tp := BuildTiledPlan(GE, 64, 8)
+	res := ScheduleWorkStealing(tp, 1, 3)
+	if res.Steals != 0 {
+		t.Fatalf("p=1 stole %d times", res.Steals)
+	}
+	if res.Makespan != TotalWork(tp.Plan) {
+		t.Fatalf("serial makespan %d != work %d", res.Makespan, TotalWork(tp.Plan))
+	}
+}
+
+func TestWorkStealingDeterministic(t *testing.T) {
+	tp := BuildTiledPlan(MM, 64, 16)
+	a := ScheduleWorkStealing(tp, 4, 42)
+	b := ScheduleWorkStealing(tp, 4, 42)
+	if a.Makespan != b.Makespan || a.Steals != b.Steals {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := ScheduleWorkStealing(tp, 4, 43)
+	_ = c // different seed may differ; just ensure it runs
+}
+
+func TestWorkStealingRespectsDependencies(t *testing.T) {
+	// FW's A-recursion has strict sequencing: verify via per-leaf
+	// start times against a reconstructed dependency check — the
+	// makespan matching Brent bounds plus full execution implies no
+	// dependency violated (violations would deadlock or panic), so
+	// here we simply check steals happen at all with p > 1.
+	tp := BuildTiledPlan(FW, 128, 16)
+	res := ScheduleWorkStealing(tp, 8, 7)
+	if res.Steals == 0 {
+		t.Fatal("no steals at p=8 — scheduler not distributing work")
+	}
+	speedup := float64(TotalWork(tp.Plan)) / float64(res.Makespan)
+	if speedup < 3 {
+		t.Fatalf("work stealing speedup %.2f at p=8 is implausibly low", speedup)
+	}
+}
+
+// TestWorkStealingLocality: LIFO self-scheduling keeps subtrees local,
+// so private-cache misses under work stealing stay within a small
+// factor of the sequential misses (Lemma 3.1(a)'s practical content).
+// Note Q_p can drop BELOW Q_1: p processors bring p times the
+// aggregate cache capacity.
+func TestWorkStealingLocality(t *testing.T) {
+	tp := BuildTiledPlan(FW, 256, 16)
+	const cacheTiles = 32
+	q1 := DistributedMisses(tp, 1, cacheTiles)
+	distinct := map[int32]bool{}
+	for _, ids := range tp.tiles {
+		for _, id := range ids {
+			distinct[id] = true
+		}
+	}
+	for _, p := range []int{2, 4, 8} {
+		qws := DistributedMissesWS(tp, p, cacheTiles, 5)
+		if qws < int64(len(distinct)) {
+			t.Fatalf("p=%d: WS misses (%d) below cold misses (%d)", p, qws, len(distinct))
+		}
+		if qws > 4*q1 {
+			t.Fatalf("p=%d: WS misses (%d) far above sequential (%d)", p, qws, q1)
+		}
+	}
+}

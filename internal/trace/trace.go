@@ -1,0 +1,246 @@
+// Package trace instruments GEP executions and checks them against the
+// paper's theory:
+//
+//   - Theorem 2.1: I-GEP performs exactly the updates of Σ_G, each at
+//     most once, and per-cell in increasing k order.
+//   - Theorem 2.2: immediately before I-GEP applies ⟨i,j,k⟩, the four
+//     operands hold the historical states c_{k-1}(i,j),
+//     c_{π(j,k)}(i,k), c_{π(i,k)}(k,j) and c_{δ(i,j,k)}(k,k).
+//   - Table 1 (column G): the iterative GEP reads states ĉ_{k-1}(i,j),
+//     ĉ_{k-[j<=k]}(i,k), ĉ_{k-[i<=k]}(k,j) and
+//     ĉ_{k-[(i<k) ∨ (i=k ∧ j<=k)]}(k,k).
+//
+// The checkers power both the test suite and the `gep-bench table1`
+// experiment. States are numbered 0-based with -1 for the initial
+// value, matching package core.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+// Update is one recorded application of the update function: the
+// triple, a timestamp, the four operand values supplied to f, and f's
+// result.
+type Update struct {
+	I, J, K    int
+	T          int
+	X, U, V, W int64
+	Result     int64
+}
+
+// Recorder collects the update stream of an instrumented run. It is
+// safe for concurrent use so parallel executions can be traced too
+// (timestamps then reflect observation order, which is a valid
+// linearization for the per-cell checks).
+type Recorder struct {
+	mu      sync.Mutex
+	updates []Update
+}
+
+// Wrap returns an update function that records every application of f.
+func (r *Recorder) Wrap(f core.UpdateFunc[int64]) core.UpdateFunc[int64] {
+	return func(i, j, k int, x, u, v, w int64) int64 {
+		res := f(i, j, k, x, u, v, w)
+		r.mu.Lock()
+		r.updates = append(r.updates, Update{
+			I: i, J: j, K: k, T: len(r.updates),
+			X: x, U: u, V: v, W: w, Result: res,
+		})
+		r.mu.Unlock()
+		return res
+	}
+}
+
+// Updates returns the recorded stream in timestamp order.
+func (r *Recorder) Updates() []Update {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Update, len(r.updates))
+	copy(out, r.updates)
+	return out
+}
+
+// Len returns the number of recorded updates.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.updates)
+}
+
+// CheckTheorem21 verifies parts (a), (b) and (c) of Theorem 2.1 for a
+// recorded run over an n×n matrix with update set Σ_G.
+func CheckTheorem21(updates []Update, set core.UpdateSet, n int) error {
+	seen := make(map[[3]int]bool, len(updates))
+	lastK := make(map[[2]int]int)
+	for _, u := range updates {
+		t3 := [3]int{u.I, u.J, u.K}
+		// (a) ⊆: every performed update is in Σ_G.
+		if !set.Contains(u.I, u.J, u.K) {
+			return fmt.Errorf("theorem 2.1(a): performed update ⟨%d,%d,%d⟩ ∉ Σ_G", u.I, u.J, u.K)
+		}
+		// (b): at most once.
+		if seen[t3] {
+			return fmt.Errorf("theorem 2.1(b): update ⟨%d,%d,%d⟩ performed twice", u.I, u.J, u.K)
+		}
+		seen[t3] = true
+		// (c): per-cell k strictly increasing in time.
+		cell := [2]int{u.I, u.J}
+		if prev, ok := lastK[cell]; ok && u.K <= prev {
+			return fmt.Errorf("theorem 2.1(c): cell (%d,%d) updated with k=%d after k=%d", u.I, u.J, u.K, prev)
+		}
+		lastK[cell] = u.K
+	}
+	// (a) ⊇: every Σ_G triple in range was performed.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				if set.Contains(i, j, k) && !seen[[3]int{i, j, k}] {
+					return fmt.Errorf("theorem 2.1(a): update ⟨%d,%d,%d⟩ ∈ Σ_G not performed", i, j, k)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// history gives O(log) access to the state sequence of each cell:
+// state(i, j, l) = value of c[i,j] after all its updates with k' <= l.
+type history struct {
+	init *matrix.Dense[int64]
+	// perCell[(i,j)] holds (k, result) pairs sorted by k. Theorem
+	// 2.1(b,c) guarantees ks are unique and (in a serial run) applied
+	// in this order, so the cell's value after state l is the result
+	// of the largest k' <= l.
+	perCell map[[2]int][]kv
+}
+
+type kv struct {
+	k int
+	v int64
+}
+
+func newHistory(updates []Update, init *matrix.Dense[int64]) *history {
+	h := &history{init: init, perCell: make(map[[2]int][]kv)}
+	for _, u := range updates {
+		cell := [2]int{u.I, u.J}
+		h.perCell[cell] = append(h.perCell[cell], kv{u.K, u.Result})
+	}
+	for cell, seq := range h.perCell {
+		sort.Slice(seq, func(a, b int) bool { return seq[a].k < seq[b].k })
+		h.perCell[cell] = seq
+	}
+	return h
+}
+
+// state returns c_l(i,j).
+func (h *history) state(i, j, l int) int64 {
+	seq := h.perCell[[2]int{i, j}]
+	lo, hi := 0, len(seq) // first index with k > l
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if seq[mid].k <= l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return h.init.At(i, j)
+	}
+	return seq[lo-1].v
+}
+
+// CheckTheorem22 verifies that each recorded I-GEP update read exactly
+// the states Theorem 2.2 predicts, given the initial matrix.
+func CheckTheorem22(updates []Update, init *matrix.Dense[int64]) error {
+	h := newHistory(updates, init)
+	for _, u := range updates {
+		if want := h.state(u.I, u.J, u.K-1); u.X != want {
+			return fmt.Errorf("theorem 2.2: ⟨%d,%d,%d⟩ read x=%d, want c_{%d}(%d,%d)=%d",
+				u.I, u.J, u.K, u.X, u.K-1, u.I, u.J, want)
+		}
+		if want := h.state(u.I, u.K, core.Pi(u.J, u.K)); u.U != want {
+			return fmt.Errorf("theorem 2.2: ⟨%d,%d,%d⟩ read u=%d, want c_{π(%d,%d)=%d}(%d,%d)=%d",
+				u.I, u.J, u.K, u.U, u.J, u.K, core.Pi(u.J, u.K), u.I, u.K, want)
+		}
+		if want := h.state(u.K, u.J, core.Pi(u.I, u.K)); u.V != want {
+			return fmt.Errorf("theorem 2.2: ⟨%d,%d,%d⟩ read v=%d, want c_{π(%d,%d)=%d}(%d,%d)=%d",
+				u.I, u.J, u.K, u.V, u.I, u.K, core.Pi(u.I, u.K), u.K, u.J, want)
+		}
+		if want := h.state(u.K, u.K, core.Delta(u.I, u.J, u.K)); u.W != want {
+			return fmt.Errorf("theorem 2.2: ⟨%d,%d,%d⟩ read w=%d, want c_{δ=%d}(%d,%d)=%d",
+				u.I, u.J, u.K, u.W, core.Delta(u.I, u.J, u.K), u.K, u.K, want)
+		}
+	}
+	return nil
+}
+
+// CheckTableOneG verifies the G column of Table 1 against a recorded
+// iterative-GEP run: G reads ĉ_{k-1}(i,j), ĉ_{k-[j<=k]}(i,k),
+// ĉ_{k-[i<=k]}(k,j), ĉ_{k-[(i<k) ∨ (i=k ∧ j<=k)]}(k,k), where state
+// subscripts count applied updates (0-based: subscript k means
+// "after updates with k' <= k", and k-1 with our -1 convention).
+func CheckTableOneG(updates []Update, init *matrix.Dense[int64]) error {
+	h := newHistory(updates, init)
+	b2i := func(b bool) int {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	for _, u := range updates {
+		i, j, k := u.I, u.J, u.K
+		if want := h.state(i, j, k-1); u.X != want {
+			return fmt.Errorf("table 1 (G): ⟨%d,%d,%d⟩ read x=%d, want %d", i, j, k, u.X, want)
+		}
+		if want := h.state(i, k, k-b2i(j <= k)); u.U != want {
+			return fmt.Errorf("table 1 (G): ⟨%d,%d,%d⟩ read u=%d, want %d", i, j, k, u.U, want)
+		}
+		if want := h.state(k, j, k-b2i(i <= k)); u.V != want {
+			return fmt.Errorf("table 1 (G): ⟨%d,%d,%d⟩ read v=%d, want %d", i, j, k, u.V, want)
+		}
+		if want := h.state(k, k, k-b2i(i < k || (i == k && j <= k))); u.W != want {
+			return fmt.Errorf("table 1 (G): ⟨%d,%d,%d⟩ read w=%d, want %d", i, j, k, u.W, want)
+		}
+	}
+	return nil
+}
+
+// VerifyIGEP runs I-GEP instrumented on a copy of init and checks both
+// theorems; it returns the number of updates performed.
+func VerifyIGEP(init *matrix.Dense[int64], f core.UpdateFunc[int64], set core.UpdateSet) (int, error) {
+	var rec Recorder
+	c := init.Clone()
+	core.RunIGEP[int64](c, rec.Wrap(f), set)
+	ups := rec.Updates()
+	if err := CheckTheorem21(ups, set, init.N()); err != nil {
+		return len(ups), err
+	}
+	if err := CheckTheorem22(ups, init); err != nil {
+		return len(ups), err
+	}
+	return len(ups), nil
+}
+
+// VerifyGEP runs iterative GEP instrumented and checks Theorem 2.1
+// (which holds for G trivially by construction) and the G column of
+// Table 1.
+func VerifyGEP(init *matrix.Dense[int64], f core.UpdateFunc[int64], set core.UpdateSet) (int, error) {
+	var rec Recorder
+	c := init.Clone()
+	core.RunGEP[int64](c, rec.Wrap(f), set)
+	ups := rec.Updates()
+	if err := CheckTheorem21(ups, set, init.N()); err != nil {
+		return len(ups), err
+	}
+	if err := CheckTableOneG(ups, init); err != nil {
+		return len(ups), err
+	}
+	return len(ups), nil
+}
