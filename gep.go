@@ -165,13 +165,25 @@ func FloydWarshall(d *Matrix[float64]) {
 	}
 	p := matrix.PadPow2Diag(d, apsp.Inf, 0)
 	apsp.FWIGEPTiled(p, 64)
-	d.CopyFrom(matrix.Crop(p, n))
+	d.CopyFrom(p.Sub(0, 0, n, n))
 }
 
 // FloydWarshallParallel is FloydWarshall on goroutines (multithreaded
-// I-GEP with the Figure-6 schedule). The side must be a power of two.
+// I-GEP with the Figure-6 schedule, run on the bounded worker pool).
+// Any side length is accepted; non-power-of-two inputs are padded the
+// same way FloydWarshall pads them.
 func FloydWarshallParallel(d *Matrix[float64]) {
-	apsp.FWParallel(d, 64, 128)
+	n := d.N()
+	if n == 0 {
+		return
+	}
+	if matrix.IsPow2(n) {
+		apsp.FWParallel(d, 64, 128)
+		return
+	}
+	p := matrix.PadPow2Diag(d, apsp.Inf, 0)
+	apsp.FWParallel(p, 64, 128)
+	d.CopyFrom(p.Sub(0, 0, n, n))
 }
 
 // Factorize performs in-place LU decomposition without pivoting
@@ -199,9 +211,10 @@ func Solve(a *Matrix[float64], b []float64) []float64 {
 	}
 	p := matrix.PadPow2Diag(a, 0, 1)
 	linalg.LUIGEP(p, 64)
-	lu := matrix.Crop(p, n)
-	a.CopyFrom(lu)
-	return linalg.SolveLU(lu, b)
+	// Crop the factors directly back into a (one copy through a view,
+	// not Crop-then-CopyFrom) and solve from them in place.
+	a.CopyFrom(p.Sub(0, 0, n, n))
+	return linalg.SolveLU(a, b)
 }
 
 // Invert returns A⁻¹ via cache-oblivious LU; a is not modified. The

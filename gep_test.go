@@ -132,6 +132,33 @@ func TestFloydWarshallNonPow2(t *testing.T) {
 	}
 }
 
+func TestFloydWarshallParallelNonPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{1, 3, 5, 12, 33} {
+		d := gep.NewMatrix[float64](n)
+		d.Apply(func(i, j int, _ float64) float64 {
+			if i == j {
+				return 0
+			}
+			if rng.Float64() < 0.3 {
+				return math.Inf(1)
+			}
+			return float64(rng.Intn(100) + 1)
+		})
+		ref := d.Clone()
+		gep.FloydWarshall(ref)
+		gep.FloydWarshallParallel(d)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if d.At(i, j) != ref.At(i, j) {
+					t.Fatalf("n=%d: parallel FW differs at (%d,%d): %g vs %g",
+						n, i, j, d.At(i, j), ref.At(i, j))
+				}
+			}
+		}
+	}
+}
+
 func TestSolveNonPow2(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, n := range []int{5, 16, 37} {

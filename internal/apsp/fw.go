@@ -2,9 +2,9 @@ package apsp
 
 import (
 	"fmt"
-	"sync"
 
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // Floyd-Warshall in the paper's compared forms. All operate in place
@@ -96,34 +96,23 @@ func fwRec(d *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
 		return
 	}
 	h := s / 2
-	par := grain > 0 && s > grain
+	parOn := grain > 0 && s > grain
 	run2 := func(f1, f2 func()) {
-		if !par {
+		if !parOn {
 			f1()
 			f2()
 			return
 		}
-		var wg sync.WaitGroup
-		wg.Add(1)
-		go func() { defer wg.Done(); f1() }()
-		f2()
-		wg.Wait()
+		par.Do(f1, f2)
 	}
 	run4 := func(fs ...func()) {
-		if !par {
+		if !parOn {
 			for _, f := range fs {
 				f()
 			}
 			return
 		}
-		var wg sync.WaitGroup
-		wg.Add(len(fs) - 1)
-		for _, f := range fs[:len(fs)-1] {
-			f := f
-			go func() { defer wg.Done(); f() }()
-		}
-		fs[len(fs)-1]()
-		wg.Wait()
+		par.Do(fs...)
 	}
 	iK, jK := xi == k0, xj == k0
 	switch {

@@ -1,6 +1,9 @@
 package core
 
-import "gep/internal/matrix"
+import (
+	"gep/internal/matrix"
+	"gep/internal/par"
+)
 
 // Multithreaded I-GEP (Figures 4-6 of the paper). The recursion is
 // specialized by the amount of overlap between the written submatrix X
@@ -40,19 +43,17 @@ func RunABCD[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Op
 	if cfg.spawn == nil {
 		cfg.spawn = goSpawn
 	}
+	cfg.bindFast(c, set)
 	st := &abcdState[T]{c: c, f: f, set: set, cfg: &cfg}
 	st.run(0, 0, 0, n)
 }
 
-// goSpawn is the default task spawner: a plain goroutine.
-func goSpawn(task func()) (wait func()) {
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		task()
-	}()
-	return func() { <-done }
-}
+// goSpawn is the default task spawner: the bounded GOMAXPROCS-sized
+// worker pool of internal/par. A task that finds no free worker slot
+// runs inline on the caller (the unstolen-child execution of a
+// work-stealing scheduler), so parallel runs never oversubscribe the
+// Go scheduler no matter how many tasks the recursion exposes.
+func goSpawn(task func()) (wait func()) { return par.Spawn(task) }
 
 type abcdState[T any] struct {
 	c   matrix.Grid[T]
@@ -86,7 +87,11 @@ func (st *abcdState[T]) run(xi, xj, k0, s int) {
 		return
 	}
 	if s <= st.cfg.baseSize {
-		igepKernel(st.c, st.f, st.set, xi, xj, k0, s)
+		if st.cfg.flatData != nil {
+			igepKernelFlat(st.cfg.flatData, st.cfg.flatStride, st.cfg.ranger, st.f, st.set, xi, xj, k0, s)
+		} else {
+			igepKernel(st.c, st.f, st.set, xi, xj, k0, s)
+		}
 		return
 	}
 	h := s / 2
@@ -181,7 +186,10 @@ func RunDisjoint[T any](x, u, v, w matrix.Grid[T], f UpdateFunc[T], set UpdateSe
 	if cfg.spawn == nil {
 		cfg.spawn = goSpawn
 	}
+	cfg.ranger, _ = set.(Ranger)
 	st := &disjointState[T]{x: x, u: u, v: v, w: w, f: f, set: set, cfg: &cfg}
+	st.fx, st.fu, st.fv, st.fw = flatOf(x), flatOf(u), flatOf(v), flatOf(w)
+	st.flat = st.fx.ok && st.fu.ok && st.fv.ok && st.fw.ok
 	st.run(0, 0, 0, n)
 }
 
@@ -190,6 +198,10 @@ type disjointState[T any] struct {
 	f          UpdateFunc[T]
 	set        UpdateSet
 	cfg        *config[T]
+
+	// Flat fast path, taken when all four grids are *matrix.Dense.
+	fx, fu, fv, fw flatRect[T]
+	flat           bool
 }
 
 func (st *disjointState[T]) par(s int, tasks ...func()) {
@@ -214,6 +226,10 @@ func (st *disjointState[T]) run(xi, xj, k0, s int) {
 		return
 	}
 	if s <= st.cfg.baseSize {
+		if st.flat {
+			st.kernelFlat(xi, xj, k0, s)
+			return
+		}
 		for k := k0; k < k0+s; k++ {
 			for i := xi; i < xi+s; i++ {
 				for j := xj; j < xj+s; j++ {

@@ -39,6 +39,39 @@ type cgepState[T any] struct {
 	vRowBase int // first row stored in v0/v1
 	uCols    int // number of columns stored (n or n/2)
 	vRows    int // number of rows stored (n or n/2)
+
+	// Flat fast path (see fastpath.go): taken when c and all four aux
+	// matrices are dense. tauSet is the set's O(1) τ view, resolved
+	// once instead of per save test.
+	fc, fu0, fu1, fv0, fv1 flatRect[T]
+	flat                   bool
+	tauSet                 TauSet
+}
+
+// bindFlat resolves the flat views of c and the aux matrices plus the
+// set's TauSet/Ranger hooks. The fast kernel runs only when all five
+// stores are dense; a file-backed aux factory (WithAuxFactory) or a
+// wrapper grid falls back to the generic kernel.
+func (st *cgepState[T]) bindFlat() {
+	st.fc = flatOf(st.c)
+	st.fu0, st.fu1 = flatRectOf(st.u0), flatRectOf(st.u1)
+	st.fv0, st.fv1 = flatRectOf(st.v0), flatRectOf(st.v1)
+	st.flat = st.fc.ok && st.fu0.ok && st.fu1.ok && st.fv0.ok && st.fv1.ok
+	st.tauSet, _ = st.set.(TauSet)
+	st.cfg.ranger, _ = st.set.(Ranger)
+}
+
+// tauOf is Tau(st.set, i, j, l) with the TauSet assertion hoisted.
+func (st *cgepState[T]) tauOf(i, j, l int) int {
+	if st.tauSet != nil {
+		return st.tauSet.Tau(i, j, l)
+	}
+	for k := l; k >= 0; k-- {
+		if st.set.Contains(i, j, k) {
+			return k
+		}
+	}
+	return -1
 }
 
 // RunCGEP executes C-GEP with the 4n²-extra-space scheme of §2.2.2.
@@ -58,6 +91,7 @@ func RunCGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Op
 		v0: cfg.newAux(n, n), v1: cfg.newAux(n, n),
 		uCols: n, vRows: n,
 	}
+	st.bindFlat()
 	// Initialize every aux matrix to c (Figure 3 preamble).
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -109,6 +143,7 @@ func RunCGEPCompact[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opt
 		v0: cfg.newAux(m, n), v1: cfg.newAux(m, n),
 		uCols: m, vRows: m,
 	}
+	st.bindFlat()
 
 	// First half: k ∈ [0, m). Bands hold columns/rows [0, m).
 	st.uColBase, st.vRowBase = 0, 0
@@ -155,7 +190,11 @@ func (st *cgepState[T]) rec(i0, j0, k0, s int) {
 		return
 	}
 	if s <= st.cfg.baseSize {
-		st.kernel(i0, j0, k0, s)
+		if st.flat {
+			st.kernelFlat(i0, j0, k0, s)
+		} else {
+			st.kernel(i0, j0, k0, s)
+		}
 		return
 	}
 	h := s / 2
@@ -221,6 +260,81 @@ func (st *cgepState[T]) kernel(i0, j0, k0, s int) {
 					}
 					if k == Tau(st.set, i, j, i) {
 						st.v1.Set(i-vrb, j, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// kernelFlat is kernel over flat storage: plain slice indexing for c
+// and the aux matrices, the Ranger column interval in place of the
+// per-element Contains test, and the TauSet assertion hoisted out of
+// the save tests. Reads and writes are element-for-element those of
+// kernel, so outputs are bit-identical; the aux reads are kept fresh
+// per element because a save at j == k (u side) or i == k (v side) can
+// feed a later read in the same loop, exactly as in the generic path.
+func (st *cgepState[T]) kernelFlat(i0, j0, k0, s int) {
+	ucb, vrb := st.uColBase, st.vRowBase
+	rg := st.cfg.ranger
+	for k := k0; k < k0+s; k++ {
+		for i := i0; i < i0+s; i++ {
+			lo, hi := j0, j0+s
+			if rg != nil {
+				l, h := rg.JRange(i, k)
+				if l > lo {
+					lo = l
+				}
+				if h < hi {
+					hi = h
+				}
+				if lo >= hi {
+					continue
+				}
+			}
+			ci := st.fc.row(i)
+			for j := lo; j < hi; j++ {
+				if rg == nil && !st.set.Contains(i, j, k) {
+					continue
+				}
+				// Reads (line 4 of Figure 3): the saved states that
+				// equal what G would read (Table 1, column 2).
+				var u T
+				if j > k {
+					u = st.fu1.at(i, k-ucb)
+				} else {
+					u = st.fu0.at(i, k-ucb)
+				}
+				var v T
+				if i > k {
+					v = st.fv1.at(k-vrb, j)
+				} else {
+					v = st.fv0.at(k-vrb, j)
+				}
+				var w T
+				if i > k || (i == k && j > k) {
+					w = st.fu1.at(k, k-ucb)
+				} else {
+					w = st.fu0.at(k, k-ucb)
+				}
+				x := st.f(i, j, k, ci[j], u, v, w)
+				ci[j] = x
+
+				// Saves (lines 5-8), band-restricted as in kernel.
+				if j-ucb >= 0 && j-ucb < st.uCols {
+					if k == st.tauOf(i, j, j-1) {
+						st.fu0.set(i, j-ucb, x)
+					}
+					if k == st.tauOf(i, j, j) {
+						st.fu1.set(i, j-ucb, x)
+					}
+				}
+				if i-vrb >= 0 && i-vrb < st.vRows {
+					if k == st.tauOf(i, j, i-1) {
+						st.fv0.set(i-vrb, j, x)
+					}
+					if k == st.tauOf(i, j, i) {
+						st.fv1.set(i-vrb, j, x)
 					}
 				}
 			}

@@ -29,6 +29,7 @@ func RunCGEPParallel[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, op
 		v0: cfg.newAux(n, n), v1: cfg.newAux(n, n),
 		uCols: n, vRows: n,
 	}
+	st.bindFlat()
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			x := c.At(i, j)
@@ -65,7 +66,11 @@ func (st *cgepState[T]) recPar(xi, xj, k0, s int) {
 		return
 	}
 	if s <= st.cfg.baseSize {
-		st.kernel(xi, xj, k0, s)
+		if st.flat {
+			st.kernelFlat(xi, xj, k0, s)
+		} else {
+			st.kernel(xi, xj, k0, s)
+		}
 		return
 	}
 	h := s / 2

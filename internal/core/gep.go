@@ -16,6 +16,13 @@ import (
 // only needed by the recursive algorithms).
 func RunGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet) {
 	n := c.N()
+	if data, stride, ok := matrix.Flat[T](c); ok {
+		// Flat fast path: G is exactly the base-case kernel applied to
+		// the whole matrix (see fastpath.go); outputs are identical.
+		rg, _ := set.(Ranger)
+		igepKernelFlat(data, stride, rg, f, set, 0, 0, 0, n)
+		return
+	}
 	for k := 0; k < n; k++ {
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {

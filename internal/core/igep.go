@@ -23,6 +23,7 @@ func RunIGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Op
 		return
 	}
 	cfg := buildConfig(opts)
+	cfg.bindFast(c, set)
 	igep(c, f, set, &cfg, 0, 0, 0, n)
 }
 
@@ -36,7 +37,11 @@ func igep[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *config[T
 		return
 	}
 	if s <= cfg.baseSize {
-		igepKernel(c, f, set, i0, j0, k0, s)
+		if cfg.flatData != nil {
+			igepKernelFlat(cfg.flatData, cfg.flatStride, cfg.ranger, f, set, i0, j0, k0, s)
+		} else {
+			igepKernel(c, f, set, i0, j0, k0, s)
+		}
 		return
 	}
 	h := s / 2

@@ -1,5 +1,7 @@
 package core
 
+import "math"
+
 // Standard update sets Σ_G for the GEP instances the paper studies,
 // plus generic predicate- and extension-based sets for arbitrary
 // computations and tests. All implement TauSet where an O(1) τ is
@@ -19,6 +21,9 @@ func (Full) Intersects(i1, i2, j1, j2, k1, k2 int) bool { return true }
 // Tau implements TauSet: every k' <= l is in the set.
 func (Full) Tau(i, j, l int) int { return l }
 
+// JRange implements Ranger: every column is a member.
+func (Full) JRange(i, k int) (lo, hi int) { return 0, math.MaxInt }
+
 // Gaussian is Σ_G for Gaussian elimination without pivoting:
 // {⟨i,j,k⟩ : k < i ∧ k < j}. Combined with
 // f(x,u,v,w) = x - (u/w)·v it reduces c to upper-triangular form
@@ -32,6 +37,14 @@ func (Gaussian) Contains(i, j, k int) bool { return k < i && k < j }
 // [i1,i2] and some j in [j1,j2] exactly when k1 < i2 and k1 < j2.
 func (Gaussian) Intersects(i1, i2, j1, j2, k1, k2 int) bool {
 	return k1 < i2 && k1 < j2
+}
+
+// JRange implements Ranger: for k < i the member columns are j > k.
+func (Gaussian) JRange(i, k int) (lo, hi int) {
+	if k >= i {
+		return 0, 0
+	}
+	return k + 1, math.MaxInt
 }
 
 // Tau implements TauSet.
@@ -59,6 +72,14 @@ func (LU) Contains(i, j, k int) bool { return k < i && k <= j }
 // Intersects implements UpdateSet.
 func (LU) Intersects(i1, i2, j1, j2, k1, k2 int) bool {
 	return k1 < i2 && k1 <= j2
+}
+
+// JRange implements Ranger: for k < i the member columns are j >= k.
+func (LU) JRange(i, k int) (lo, hi int) {
+	if k >= i {
+		return 0, 0
+	}
+	return k, math.MaxInt
 }
 
 // Tau implements TauSet.
@@ -213,4 +234,8 @@ var (
 	_ TauSet = LU{}
 	_ TauSet = Predicate{}
 	_ TauSet = (*Explicit)(nil)
+
+	_ Ranger = Full{}
+	_ Ranger = Gaussian{}
+	_ Ranger = LU{}
 )

@@ -34,6 +34,24 @@ type TauSet interface {
 	Tau(i, j, l int) int
 }
 
+// Ranger is an UpdateSet whose membership, for fixed i and k, is a
+// contiguous column interval: Contains(i, j, k) holds exactly for
+// lo <= j < hi. The flat-slice kernels use it to hoist the per-element
+// Contains test out of the inner loop — the j loop runs straight over
+// [lo, hi) intersected with the block — so implement it whenever the
+// set's column sections are intervals (all the paper's standard
+// instances are: Full, Gaussian, LU). Sets that do not implement
+// Ranger fall back to the per-element Contains path; like Intersects,
+// Ranger affects only performance, never correctness — but an
+// implementation must be exact, not conservative.
+type Ranger interface {
+	UpdateSet
+	// JRange returns the half-open interval [lo, hi) of columns j with
+	// ⟨i,j,k⟩ ∈ Σ_G. An empty set is any lo >= hi; an interval
+	// unbounded above may use math.MaxInt.
+	JRange(i, k int) (lo, hi int)
+}
+
 // Tau evaluates τ_ij(l) for any UpdateSet, using the set's own Tau
 // method when it implements TauSet and a downward scan otherwise.
 func Tau(s UpdateSet, i, j, l int) int {
@@ -48,7 +66,8 @@ func Tau(s UpdateSet, i, j, l int) int {
 	return -1
 }
 
-// config carries the tunable knobs of the recursive algorithms.
+// config carries the tunable knobs of the recursive algorithms, plus
+// the fast-path bindings resolved once per run (see fastpath.go).
 type config[T any] struct {
 	baseSize int
 	prune    bool
@@ -56,6 +75,24 @@ type config[T any] struct {
 	grain    int
 	newAux   func(rows, cols int) matrix.Rect[T]
 	spawn    func(task func()) (wait func())
+
+	// flatData/flatStride are the row-major backing of the grid when it
+	// is a *matrix.Dense[T] (flatData == nil otherwise); ranger is the
+	// set's Ranger view when it has one. Both are bound by bindFast.
+	flatData   []T
+	flatStride int
+	ranger     Ranger
+}
+
+// bindFast resolves the fast-path hooks for one run: flat storage via
+// the matrix.Flat type assertion and the set's optional Ranger. Wrapper
+// grids (cache simulators, tracers, out-of-core stores) and unknown
+// sets simply leave the generic path in place.
+func (c *config[T]) bindFast(g matrix.Grid[T], set UpdateSet) {
+	if data, stride, ok := matrix.Flat[T](g); ok {
+		c.flatData, c.flatStride = data, stride
+	}
+	c.ranger, _ = set.(Ranger)
 }
 
 func defaultConfig[T any]() config[T] {

@@ -18,9 +18,9 @@ package linalg
 
 import (
 	"fmt"
-	"sync"
 
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // Flops returns the floating-point operation count of an n×n matrix
@@ -174,6 +174,11 @@ func MulIGEPParallel(c, a, b *matrix.Dense[float64], base, grain int) {
 	mulRecPar(c, a, b, 0, 0, 0, n, base, grain)
 }
 
+// mulRecPar runs the quadrants of each k-half as a fork-join group on
+// the bounded worker pool of internal/par: at most GOMAXPROCS pool
+// goroutines exist at once, and a fork that finds the pool saturated
+// runs inline, so deep recursions no longer create one goroutine per
+// spawn.
 func mulRecPar(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base, grain int) {
 	if s <= grain {
 		mulRec(c, a, b, i0, j0, k0, s, base)
@@ -181,13 +186,13 @@ func mulRecPar(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base, grain int) {
 	}
 	h := s / 2
 	for _, kh := range []int{k0, k0 + h} {
-		var wg sync.WaitGroup
-		wg.Add(3)
-		go func() { defer wg.Done(); mulRecPar(c, a, b, i0, j0, kh, h, base, grain) }()
-		go func() { defer wg.Done(); mulRecPar(c, a, b, i0, j0+h, kh, h, base, grain) }()
-		go func() { defer wg.Done(); mulRecPar(c, a, b, i0+h, j0, kh, h, base, grain) }()
-		mulRecPar(c, a, b, i0+h, j0+h, kh, h, base, grain)
-		wg.Wait()
+		kh := kh
+		par.Do(
+			func() { mulRecPar(c, a, b, i0, j0, kh, h, base, grain) },
+			func() { mulRecPar(c, a, b, i0, j0+h, kh, h, base, grain) },
+			func() { mulRecPar(c, a, b, i0+h, j0, kh, h, base, grain) },
+			func() { mulRecPar(c, a, b, i0+h, j0+h, kh, h, base, grain) },
+		)
 	}
 }
 

@@ -143,6 +143,40 @@ func (m *Dense[T]) Data() []T {
 	return m.data
 }
 
+// flatAccess is the hook behind Flat and FlatRect: it exposes the
+// row-major backing slice and stride of the matrix (including views,
+// whose data starts at the view origin). It is deliberately unexported
+// — the only way to reach it from outside the package is through the
+// Flat/FlatRect type assertions, so wrapper grids (cache simulators,
+// tracers, out-of-core stores) can never be mistaken for flat storage.
+func (m *Dense[T]) flatAccess() (data []T, stride int) { return m.data, m.stride }
+
+// Flat reports whether g is backed by row-major in-core storage — i.e.
+// whether it is a *Dense[T] — and if so returns the backing slice and
+// row stride. Element (i, j) of g lives at data[i*stride+j]. The
+// kernels in internal/core use this to run over the flat slice with no
+// interface dispatch; any other Grid implementation returns ok=false
+// and takes the generic path.
+func Flat[T any](g Grid[T]) (data []T, stride int, ok bool) {
+	d, isDense := g.(*Dense[T])
+	if !isDense {
+		return nil, 0, false
+	}
+	data, stride = d.flatAccess()
+	return data, stride, true
+}
+
+// FlatRect is Flat for the minimal Rect accessor (C-GEP's auxiliary
+// matrices).
+func FlatRect[T any](r Rect[T]) (data []T, stride int, ok bool) {
+	d, isDense := r.(*Dense[T])
+	if !isDense {
+		return nil, 0, false
+	}
+	data, stride = d.flatAccess()
+	return data, stride, true
+}
+
 // Sub returns an r×c view of m starting at (i, j). The view shares
 // storage with m: writes through either are visible in both.
 func (m *Dense[T]) Sub(i, j, r, c int) *Dense[T] {

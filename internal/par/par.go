@@ -1,0 +1,65 @@
+// Package par provides the bounded fork-join spawner shared by the
+// parallel GEP engines (internal/core, internal/linalg, internal/apsp).
+//
+// The multithreaded recursions of Figure 6 expose far more parallel
+// tasks than there are processors: spawning a goroutine per task
+// oversubscribes the scheduler and loses the locality that makes
+// work-stealing analyses (Lemma 3.1, modeled in internal/sched) work —
+// a LIFO-executing worker keeps a subtree's blocks in its cache. This
+// package bounds concurrency the way a work-stealing pool does at the
+// "steal" boundary: a fixed budget of GOMAXPROCS worker slots, and a
+// task that finds no free slot runs inline on its caller, exactly as an
+// unstolen Cilk child would. Inline fallback also makes nested Spawn
+// calls trivially deadlock-free: a task never blocks waiting for a
+// slot.
+package par
+
+import "runtime"
+
+// sem holds one token per worker slot. The budget is fixed at package
+// init from GOMAXPROCS; a token is held for the lifetime of the
+// spawned goroutine.
+var sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Spawn runs task on a pool worker when a slot is free and inline on
+// the caller otherwise. The returned wait function blocks until task
+// has completed (it returns immediately after an inline run). The
+// signature matches core.WithSpawn.
+func Spawn(task func()) (wait func()) {
+	select {
+	case sem <- struct{}{}:
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				<-sem
+				close(done)
+			}()
+			task()
+		}()
+		return func() { <-done }
+	default:
+		task()
+		return func() {}
+	}
+}
+
+// Do executes the tasks as one fork-join group: all but the last are
+// offered to the pool, the last runs on the calling goroutine, and Do
+// returns only when every task has completed.
+func Do(tasks ...func()) {
+	switch len(tasks) {
+	case 0:
+		return
+	case 1:
+		tasks[0]()
+		return
+	}
+	waits := make([]func(), 0, len(tasks)-1)
+	for _, t := range tasks[:len(tasks)-1] {
+		waits = append(waits, Spawn(t))
+	}
+	tasks[len(tasks)-1]()
+	for _, w := range waits {
+		w()
+	}
+}

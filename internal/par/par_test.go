@@ -1,0 +1,76 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoRunsAllTasks checks completion and result visibility for flat
+// and deeply nested fork-join groups.
+func TestDoRunsAllTasks(t *testing.T) {
+	var n atomic.Int64
+	tasks := make([]func(), 100)
+	for i := range tasks {
+		tasks[i] = func() { n.Add(1) }
+	}
+	Do(tasks...)
+	if got := n.Load(); got != 100 {
+		t.Fatalf("Do ran %d of 100 tasks", got)
+	}
+}
+
+// TestNestedSpawnNoDeadlock forces far more nested forks than worker
+// slots; inline fallback must keep the recursion deadlock-free.
+func TestNestedSpawnNoDeadlock(t *testing.T) {
+	var sum atomic.Int64
+	var rec func(depth int)
+	rec = func(depth int) {
+		if depth == 0 {
+			sum.Add(1)
+			return
+		}
+		Do(
+			func() { rec(depth - 1) },
+			func() { rec(depth - 1) },
+			func() { rec(depth - 1) },
+			func() { rec(depth - 1) },
+		)
+	}
+	rec(6) // 4^6 = 4096 leaves through a pool of GOMAXPROCS slots
+	if got := sum.Load(); got != 4096 {
+		t.Fatalf("nested recursion completed %d of 4096 leaves", got)
+	}
+}
+
+// TestSpawnBounded checks the pool never runs more than GOMAXPROCS
+// spawned tasks concurrently (the wait functions synchronize, so the
+// counter is exact for pooled tasks; inline tasks run on callers we
+// created ourselves).
+func TestSpawnBounded(t *testing.T) {
+	budget := int64(runtime.GOMAXPROCS(0))
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	var waits []func()
+	for i := 0; i < 200; i++ {
+		w := Spawn(func() {
+			c := cur.Add(1)
+			mu.Lock()
+			if c > peak.Load() {
+				peak.Store(c)
+			}
+			mu.Unlock()
+			cur.Add(-1)
+		})
+		waits = append(waits, w)
+	}
+	for _, w := range waits {
+		w()
+	}
+	// Callers count too: a saturated Spawn runs inline on this
+	// goroutine, so concurrency can reach budget+1 but no further.
+	if p := peak.Load(); p > budget+1 {
+		t.Fatalf("peak concurrency %d exceeds pool budget %d(+1 inline)", p, budget)
+	}
+}
