@@ -1,0 +1,206 @@
+// Doclint enforces the repository's documentation policy without
+// external dependencies: every package under the named directories
+// must carry a package-level doc comment, and every exported
+// identifier (func, type, const, var, method on an exported type)
+// must have a doc comment. It is the stand-in for revive's `exported`
+// and `package-comments` rules, built on go/ast so CI needs nothing
+// beyond the Go toolchain.
+//
+// Usage:
+//
+//	go run ./cmd/doclint ./internal/... ./pkg
+//
+// A trailing /... walks the tree. Test files (*_test.go) are exempt.
+// Exit status is non-zero when any finding is reported.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doclint <dir>[/...] ...")
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, a := range args {
+		root, walk := strings.CutSuffix(a, "/...")
+		if !walk {
+			dirs = append(dirs, root)
+			continue
+		}
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				dirs = append(dirs, p)
+			}
+			return nil
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+	}
+
+	var findings []string
+	for _, dir := range dirs {
+		fs, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	sort.Strings(findings)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "doclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// lintDir parses the non-test Go files of one directory and reports
+// missing doc comments. Directories with no Go files yield nothing.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	for _, pkg := range pkgs {
+		if pkg.Name == "main" {
+			// Commands document themselves via their binary doc
+			// comment; only the package comment is required.
+			findings = append(findings, lintPackageComment(fset, pkg)...)
+			continue
+		}
+		findings = append(findings, lintPackageComment(fset, pkg)...)
+		for _, file := range pkg.Files {
+			findings = append(findings, lintFile(fset, file)...)
+		}
+	}
+	return findings, nil
+}
+
+// lintPackageComment requires at least one file in the package to
+// carry a package doc comment.
+func lintPackageComment(fset *token.FileSet, pkg *ast.Package) []string {
+	var first string
+	for name, file := range pkg.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			return nil
+		}
+		if first == "" || name < first {
+			first = name
+		}
+	}
+	return []string{fmt.Sprintf("%s: package %s has no package doc comment", first, pkg.Name)}
+}
+
+// lintFile reports exported declarations without doc comments in one
+// file.
+func lintFile(fset *token.FileSet, file *ast.File) []string {
+	var findings []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name))
+	}
+
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || !exportedReceiver(d) {
+				continue
+			}
+			if d.Doc == nil || strings.TrimSpace(d.Doc.Text()) == "" {
+				what := "function"
+				if d.Recv != nil {
+					what = "method"
+				}
+				report(d.Pos(), what, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			findings = append(findings, lintGenDecl(fset, d, report)...)
+		}
+	}
+	return findings
+}
+
+// exportedReceiver reports whether a FuncDecl is a plain function or a
+// method on an exported type; methods on unexported types are exempt.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr: // generic receiver T[P1, P2]
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true
+		}
+	}
+}
+
+// lintGenDecl handles type/const/var declarations. A doc comment on
+// the grouped declaration covers every name in the group, matching
+// godoc's rendering; otherwise each exported name needs its own
+// comment.
+func lintGenDecl(fset *token.FileSet, d *ast.GenDecl, report func(token.Pos, string, string)) []string {
+	if d.Tok != token.TYPE && d.Tok != token.CONST && d.Tok != token.VAR {
+		return nil
+	}
+	groupDoc := d.Doc != nil && strings.TrimSpace(d.Doc.Text()) != ""
+	var findings []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && (s.Doc == nil || strings.TrimSpace(s.Doc.Text()) == "") {
+				p := fset.Position(s.Pos())
+				findings = append(findings, fmt.Sprintf("%s:%d: exported type %s has no doc comment", p.Filename, p.Line, s.Name.Name))
+			}
+		case *ast.ValueSpec:
+			specDoc := s.Doc != nil && strings.TrimSpace(s.Doc.Text()) != ""
+			if groupDoc || specDoc {
+				continue
+			}
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				what := "var"
+				if d.Tok == token.CONST {
+					what = "const"
+				}
+				p := fset.Position(name.Pos())
+				findings = append(findings, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, what, name.Name))
+			}
+		}
+	}
+	return findings
+}

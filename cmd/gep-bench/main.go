@@ -1,29 +1,58 @@
 // Command gep-bench regenerates the tables and figures of the paper's
 // evaluation section (§4). Each experiment prints an aligned text
 // table plus the qualitative shape the paper reports, so results can
-// be compared directly against EXPERIMENTS.md.
+// be compared directly against EXPERIMENTS.md; -csv and -json
+// additionally emit machine-readable artifacts (per-table CSV files
+// and one BENCH_<experiment>.json report per experiment).
 //
 // Usage:
 //
-//	gep-bench [-scale small|full] list
-//	gep-bench [-scale small|full] all
-//	gep-bench [-scale small|full] <experiment> [<experiment>...]
+//	gep-bench [flags] list
+//	gep-bench [flags] all
+//	gep-bench [flags] <experiment> [<experiment>...]
+//	gep-bench compare [-threshold r] <old> <new>
+//
+// Flags:
+//
+//	-scale small|full   experiment size (seconds vs minutes)
+//	-csv DIR            mirror every table as CSV files into DIR
+//	-json DIR           write BENCH_<experiment>.json reports into DIR
+//	-cpuprofile FILE    write a pprof CPU profile of the run
+//	-memprofile FILE    write a pprof heap profile at exit
+//	-trace FILE         write a runtime/trace of the run
+//
+// The compare subcommand diffs two report files — or two directories
+// of BENCH_*.json files, matched by experiment — row by row and exits
+// with status 1 if any row's wall time regressed by more than the
+// threshold ratio (default 1.5).
 //
 // Experiments: table1 table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-// ablation-base ablation-layout ablation-prune ablation-grain.
+// ablation-base ablation-layout ablation-prune ablation-grain
+// lemma31 bounds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"gep/internal/bench"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:]))
+	}
+
 	scaleFlag := flag.String("scale", "small", "experiment size: small (seconds) or full (minutes)")
 	csvDir := flag.String("csv", "", "also write every table as CSV files into this directory")
+	jsonDir := flag.String("json", "", "also write BENCH_<experiment>.json reports into this directory")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+	traceFile := flag.String("trace", "", "write a runtime/trace to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -59,6 +88,12 @@ func main() {
 		}
 	}
 
+	stopProfiling, err := startProfiling(*cpuProfile, *memProfile, *traceFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gep-bench: %v\n", err)
+		os.Exit(1)
+	}
+
 	failed := false
 	for _, name := range names {
 		e, ok := bench.Get(name)
@@ -67,26 +102,107 @@ func main() {
 			failed = true
 			continue
 		}
-		if *csvDir != "" {
-			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
-				fmt.Fprintf(os.Stderr, "gep-bench: %v\n", err)
-				os.Exit(1)
-			}
-			bench.SetCSVDir(*csvDir, e.Name)
-		}
 		fmt.Printf("=== %s: %s ===\n\n", e.Name, e.Title)
-		if err := e.Run(os.Stdout, scale); err != nil {
+		opts := bench.RunOptions{CSVDir: *csvDir, JSONDir: *jsonDir}
+		if err := bench.RunExperiment(os.Stdout, e, scale, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "gep-bench: %s: %v\n", name, err)
 			failed = true
 		}
 		fmt.Println()
 	}
+	stopProfiling()
 	if failed {
 		os.Exit(1)
 	}
 }
 
+// startProfiling enables the requested opt-in profilers and returns
+// the function that stops them and writes end-of-run artifacts (the
+// heap profile is captured at stop time, after a final GC, so it shows
+// live retention rather than transient garbage).
+func startProfiling(cpuFile, memFile, traceOut string) (stop func(), err error) {
+	var stops []func()
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	if memFile != "" {
+		stops = append(stops, func() {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gep-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gep-bench: memprofile: %v\n", err)
+			}
+		})
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}, nil
+}
+
+// runCompare implements `gep-bench compare [-threshold r] old new`
+// and returns the process exit code: 0 clean, 1 regression past the
+// threshold, 2 usage or load error.
+func runCompare(args []string) int {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 1.5, "regression ratio (new/old wall time) above which compare fails")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gep-bench compare [-threshold r] <old.json|oldDir> <new.json|newDir>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	if *threshold <= 1 {
+		fmt.Fprintf(os.Stderr, "gep-bench: compare threshold must be > 1, got %g\n", *threshold)
+		return 2
+	}
+	regressed, err := bench.ComparePaths(os.Stdout, fs.Arg(0), fs.Arg(1), *threshold)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gep-bench: compare: %v\n", err)
+		return 2
+	}
+	if regressed {
+		return 1
+	}
+	return 0
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: gep-bench [-scale small|full] list | all | <experiment>...")
+	fmt.Fprintln(os.Stderr, "usage: gep-bench [flags] list | all | <experiment>...")
+	fmt.Fprintln(os.Stderr, "       gep-bench compare [-threshold r] <old> <new>")
 	flag.PrintDefaults()
 }

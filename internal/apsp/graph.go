@@ -1,8 +1,3 @@
-// Package apsp implements all-pairs shortest paths: the paper's §4.1
-// workload. It provides Floyd-Warshall in the three compared forms
-// (iterative GEP, cache-oblivious I-GEP, and parallel I-GEP), graph
-// generation and I/O, an independent Dijkstra oracle for verification,
-// and path reconstruction.
 package apsp
 
 import (

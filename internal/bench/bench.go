@@ -1,12 +1,3 @@
-// Package bench is the experiment harness: it regenerates every table
-// and figure of the paper's evaluation section (§4) as textual tables.
-// Each experiment is a named function over an io.Writer plus a Scale
-// knob; cmd/gep-bench exposes them as subcommands and the root
-// bench_test.go wires them into `go test -bench`.
-//
-// The EXPERIMENTS.md file at the repository root records, for each
-// experiment, the paper's reported numbers next to ours and the
-// expected qualitative shape.
 package bench
 
 import (

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// Regression comparison of BENCH_*.json reports. Rows are paired by
+// identity (experiment, engine, n, param); a pair whose new wall time
+// exceeds the old by more than the threshold ratio is a regression.
+// Only timed rows participate — counter-only rows (miss tables,
+// theorem checks) are deterministic and compare equal or not at all.
+
+// Delta is the wall-time comparison of one row identity across two
+// reports.
+type Delta struct {
+	// Experiment, Engine, N, Param identify the row (see Row).
+	Experiment string
+	Engine     string
+	N          int
+	Param      string
+	// Old and New are the two wall-clock measurements.
+	Old, New time.Duration
+	// Ratio is New/Old: 1.0 = unchanged, 2.0 = twice as slow.
+	Ratio float64
+}
+
+// Key renders the row identity for display.
+func (d Delta) Key() string {
+	k := d.Experiment + "/" + d.Engine
+	if d.N != 0 {
+		k += fmt.Sprintf("/n=%d", d.N)
+	}
+	if d.Param != "" {
+		k += "/" + d.Param
+	}
+	return k
+}
+
+type rowKey struct {
+	engine string
+	n      int
+	param  string
+}
+
+// CompareReports pairs the timed rows of two same-experiment reports
+// and returns their deltas, in row order of the new report. Rows
+// present in only one report, or without wall-time measurements, are
+// skipped (counter-only rows carry no timing signal).
+func CompareReports(old, new *Report) []Delta {
+	oldByKey := map[rowKey]Row{}
+	for _, r := range old.Rows {
+		if r.Wall > 0 {
+			oldByKey[rowKey{r.Engine, r.N, r.Param}] = r
+		}
+	}
+	var out []Delta
+	for _, r := range new.Rows {
+		if r.Wall <= 0 {
+			continue
+		}
+		o, ok := oldByKey[rowKey{r.Engine, r.N, r.Param}]
+		if !ok {
+			continue
+		}
+		out = append(out, Delta{
+			Experiment: new.Experiment,
+			Engine:     r.Engine,
+			N:          r.N,
+			Param:      r.Param,
+			Old:        o.Wall,
+			New:        r.Wall,
+			Ratio:      float64(r.Wall) / float64(o.Wall),
+		})
+	}
+	return out
+}
+
+// Regressions returns the deltas whose ratio exceeds threshold.
+func Regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Ratio > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// loadReportSet loads one comparison side: a single report file, or
+// every BENCH_*.json inside a directory, keyed by experiment name.
+func loadReportSet(path string) (map[string]*Report, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	paths := []string{path}
+	if info.IsDir() {
+		paths, err = filepath.Glob(filepath.Join(path, "BENCH_*.json"))
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("bench: no BENCH_*.json files in %s", path)
+		}
+		sort.Strings(paths)
+	}
+	out := map[string]*Report{}
+	for _, p := range paths {
+		r, err := LoadReport(p)
+		if err != nil {
+			return nil, err
+		}
+		out[r.Experiment] = r
+	}
+	return out, nil
+}
+
+// ComparePaths loads two report files (or two directories of
+// BENCH_*.json files), prints per-row wall-time deltas to w, and
+// reports whether any row regressed past the threshold ratio. It is
+// the engine of the `gep-bench compare` subcommand.
+func ComparePaths(w io.Writer, oldPath, newPath string, threshold float64) (regressed bool, err error) {
+	olds, err := loadReportSet(oldPath)
+	if err != nil {
+		return false, err
+	}
+	news, err := loadReportSet(newPath)
+	if err != nil {
+		return false, err
+	}
+
+	names := make([]string, 0, len(news))
+	for name := range news {
+		if _, ok := olds[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return false, fmt.Errorf("bench: the two sides share no experiments")
+	}
+
+	var t Table
+	t.Header("row", "old", "new", "ratio", "verdict")
+	nRegressed, nCompared := 0, 0
+	for _, name := range names {
+		o, n := olds[name], news[name]
+		if !sameHost(o.Host, n.Host) {
+			fmt.Fprintf(w, "note: %s measured on different hosts (old %s/%s go %s, new %s/%s go %s) — deltas may reflect the machine, not the code\n",
+				name, o.Host.OS, o.Host.Arch, o.Host.GoVersion, n.Host.OS, n.Host.Arch, n.Host.GoVersion)
+		}
+		for _, d := range CompareReports(o, n) {
+			nCompared++
+			verdict := "ok"
+			switch {
+			case d.Ratio > threshold:
+				verdict = "REGRESSED"
+				nRegressed++
+			case d.Ratio < 1/threshold:
+				verdict = "improved"
+			}
+			t.Row(d.Key(), d.Old, d.New, d.Ratio, verdict)
+		}
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return false, err
+	}
+	fmt.Fprintf(w, "\n%d rows compared, %d regressed (threshold %.2fx)\n", nCompared, nRegressed, threshold)
+	return nRegressed > 0, nil
+}
+
+// sameHost reports whether two report headers describe the same
+// machine. PeakGFLOPS is deliberately excluded: it is re-calibrated
+// on every run and jitters a few percent even on identical hardware.
+func sameHost(a, b HostInfo) bool {
+	return a.GoVersion == b.GoVersion && a.OS == b.OS &&
+		a.Arch == b.Arch && a.CPUs == b.CPUs
+}

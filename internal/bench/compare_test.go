@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testReport(name string, wallByEngine map[string]time.Duration) *Report {
+	r := &Report{
+		Schema:     ReportSchema,
+		Experiment: name,
+		Scale:      "small",
+		Host:       Host(),
+	}
+	for engine, wall := range wallByEngine {
+		r.Rows = append(r.Rows, Row{Engine: engine, N: 256, Wall: wall})
+	}
+	return r
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	dirOld, dirNew := t.TempDir(), t.TempDir()
+	r := testReport("fig8", map[string]time.Duration{
+		"GEP": 10 * time.Millisecond, "I-GEP": 2 * time.Millisecond,
+	})
+	if err := WriteReport(dirOld, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(dirNew, r); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	regressed, err := ComparePaths(&buf, dirOld, dirNew, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("identical reports flagged as regression:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "2 rows compared, 0 regressed") {
+		t.Fatalf("unexpected summary:\n%s", buf.String())
+	}
+}
+
+// TestCompareFlagsInjectedSlowdown is the regression-gate golden test:
+// a 2x slowdown on one engine must trip a 1.5x threshold, name the
+// regressed row, and leave the unchanged row alone.
+func TestCompareFlagsInjectedSlowdown(t *testing.T) {
+	dirOld, dirNew := t.TempDir(), t.TempDir()
+	old := testReport("fig8", map[string]time.Duration{
+		"GEP": 10 * time.Millisecond, "I-GEP": 2 * time.Millisecond,
+	})
+	slow := testReport("fig8", map[string]time.Duration{
+		"GEP": 10 * time.Millisecond, "I-GEP": 4 * time.Millisecond, // injected 2x
+	})
+	if err := WriteReport(dirOld, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(dirNew, slow); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	regressed, err := ComparePaths(&buf, dirOld, dirNew, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatalf("2x slowdown not flagged at 1.5x threshold:\n%s", buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSED") || !strings.Contains(out, "fig8/I-GEP") {
+		t.Fatalf("regressed row not named:\n%s", out)
+	}
+	if strings.Contains(out, "fig8/GEP/n=256  10ms  10ms  1  REGRESSED") {
+		t.Fatalf("unchanged row flagged:\n%s", out)
+	}
+}
+
+func TestCompareSingleFiles(t *testing.T) {
+	dirOld, dirNew := t.TempDir(), t.TempDir()
+	old := testReport("fig10", map[string]time.Duration{"tiled(64)": time.Millisecond})
+	improved := testReport("fig10", map[string]time.Duration{"tiled(64)": time.Millisecond / 2})
+	if err := WriteReport(dirOld, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(dirNew, improved); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	regressed, err := ComparePaths(&buf, ReportPath(dirOld, "fig10"), ReportPath(dirNew, "fig10"), 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("improvement flagged as regression")
+	}
+	if !strings.Contains(buf.String(), "improved") {
+		t.Fatalf("improvement not labeled:\n%s", buf.String())
+	}
+}
+
+func TestCompareDeltas(t *testing.T) {
+	old := testReport("x", map[string]time.Duration{"e": 100})
+	new_ := testReport("x", map[string]time.Duration{"e": 150})
+	deltas := CompareReports(old, new_)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %v", deltas)
+	}
+	if d := deltas[0]; d.Ratio != 1.5 || d.Old != 100 || d.New != 150 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if got := Regressions(deltas, 1.4); len(got) != 1 {
+		t.Fatalf("1.5x should regress past 1.4 threshold: %v", got)
+	}
+	if got := Regressions(deltas, 1.6); len(got) != 0 {
+		t.Fatalf("1.5x should pass 1.6 threshold: %v", got)
+	}
+}
+
+func TestCompareDisjointExperimentsErrors(t *testing.T) {
+	dirOld, dirNew := t.TempDir(), t.TempDir()
+	if err := WriteReport(dirOld, testReport("a", map[string]time.Duration{"e": 1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(dirNew, testReport("b", map[string]time.Duration{"e": 1})); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ComparePaths(&buf, dirOld, dirNew, 1.5); err == nil {
+		t.Fatal("expected error for disjoint experiment sets")
+	}
+}

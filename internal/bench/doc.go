@@ -1,0 +1,31 @@
+// Package bench is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation section (§4) as textual tables
+// and, on request, as machine-readable artifacts. Each experiment is a
+// named function over an io.Writer plus a Scale knob; cmd/gep-bench
+// exposes them as subcommands and the root bench_test.go wires them
+// into `go test -bench`.
+//
+// Key types and entry points:
+//
+//   - Experiment / Register / Get / All: the experiment registry. Each
+//     exp_*.go file registers the experiments for one paper artifact
+//     group (Tables 1-2, Figures 7-12, the ablations, and the Lemma
+//     3.1 / I/O-bound checks that go beyond the paper's own plots).
+//   - Table: aligned text rendering with optional CSV mirroring
+//     (SetCSVDir), the plot-ready artifact trail under results/csv.
+//   - Row / Report / RunExperiment (json.go): the telemetry layer.
+//     With a JSON directory configured, every experiment additionally
+//     emits structured rows — engine, n, parameter, wall time, GFLOPS,
+//     % of calibrated peak, simulated misses, and the engine-counter
+//     deltas from internal/metrics — into a BENCH_<experiment>.json
+//     report stamped with the host description.
+//   - CompareReports / ComparePaths (compare.go): regression gating
+//     over two reports or directories of reports, used by the
+//     `gep-bench compare` subcommand and CI.
+//   - PeakGFLOPS / Host (peak.go): the calibrated peak-FLOPS figure
+//     the paper's "% of peak" metric is scored against (§4.2).
+//
+// The EXPERIMENTS.md file at the repository root records, for each
+// experiment, the paper's reported numbers next to ours, the expected
+// qualitative shape, and the JSON report schema.
+package bench

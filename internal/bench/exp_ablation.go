@@ -48,10 +48,12 @@ func runAblationBase(w io.Writer, scale Scale) error {
 	var t Table
 	t.Header("base", "time", "GFLOPS")
 	for _, base := range bases {
-		d := TimeBest(2, func() {
+		d, met := TimeBestMetered(2, func() {
 			c := matrix.NewSquare[float64](n)
 			linalg.MulIGEP(c, a, b, base)
 		})
+		Record(Row{Engine: "MulIGEP", N: n, Param: fmt.Sprintf("base=%d", base),
+			Wall: d, GFLOPS: GFLOPS(linalg.MulFlops(n), d), Metrics: met})
 		t.Row(base, d, GFLOPS(linalg.MulFlops(n), d))
 	}
 	_, err := t.WriteTo(w)
@@ -74,6 +76,8 @@ func runAblationLayout(w io.Writer, scale Scale) error {
 		c := matrix.NewSquare[float64](n)
 		linalg.MulIGEP(c, a, b, base)
 	})
+	Record(Row{Engine: "MulIGEP", N: n, Param: "layout=row-major",
+		Wall: dRow, GFLOPS: GFLOPS(linalg.MulFlops(n), dRow)})
 	t.Row("row-major", dRow, GFLOPS(linalg.MulFlops(n), dRow))
 	dMorton := TimeBest(2, func() {
 		at := matrix.NewTiled[float64](n, base)
@@ -84,6 +88,8 @@ func runAblationLayout(w io.Writer, scale Scale) error {
 		linalg.MulTiledMorton(ct, at, bt, base)
 		_ = ct.ToDense()
 	})
+	Record(Row{Engine: "MulIGEP", N: n, Param: "layout=morton+convert",
+		Wall: dMorton, GFLOPS: GFLOPS(linalg.MulFlops(n), dMorton)})
 	t.Row("morton+convert", dMorton, GFLOPS(linalg.MulFlops(n), dMorton))
 	if _, err := t.WriteTo(w); err != nil {
 		return err
@@ -108,6 +114,8 @@ func runAblationLayout(w io.Writer, scale Scale) error {
 		m := matrix.NewSquare[float64](tlbN)
 		g := cachesim.NewTraced[float64](m, h, v.layout, 0)
 		core.RunIGEP[float64](g, fwUpdate, core.Full{}, core.WithBaseSize[float64](32))
+		Record(Row{Engine: "I-GEP FW", N: tlbN, Param: "layout=" + v.name,
+			Extra: map[string]float64{"tlb_misses": float64(tlb.Stats().Misses)}})
 		t2.Row(v.name, tlb.Stats().Misses)
 	}
 	if _, err := t2.WriteTo(w); err != nil {
@@ -135,11 +143,13 @@ func runAblationPrune(w io.Writer, scale Scale) error {
 	t.Header("pruning", "time")
 	for _, prune := range []bool{true, false} {
 		p := prune
-		d := TimeBest(2, func() {
+		d, met := TimeBestMetered(2, func() {
 			m := in.Clone()
 			core.RunIGEP[float64](m, lu, core.LU{},
 				core.WithBaseSize[float64](32), core.WithPrune[float64](p))
 		})
+		Record(Row{Engine: "I-GEP LU", N: n, Param: fmt.Sprintf("prune=%t", p),
+			Wall: d, Metrics: met})
 		t.Row(p, d)
 	}
 	_, err := t.WriteTo(w)
@@ -160,10 +170,12 @@ func runAblationGrain(w io.Writer, scale Scale) error {
 	t.Header("grain", "time")
 	for _, grain := range grains {
 		gr := grain
-		d := TimeBest(2, func() {
+		d, met := TimeBestMetered(2, func() {
 			m := in.Clone()
 			apsp.FWParallel(m, 32, gr)
 		})
+		Record(Row{Engine: "FWParallel", N: n, Param: fmt.Sprintf("grain=%d", gr),
+			Wall: d, Metrics: met})
 		t.Row(gr, d)
 	}
 	_, err := t.WriteTo(w)

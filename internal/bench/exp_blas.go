@@ -65,11 +65,12 @@ func runFig10(w io.Writer, scale Scale) error {
 			{"I-GEP(b=64)", func(m *matrix.Dense[float64]) { linalg.LUIGEP(m, 64) }},
 			{"tiled(64)", func(m *matrix.Dense[float64]) { linalg.LUTiled(m, 64) }},
 		} {
-			d := TimeBest(reps, func() {
+			d, met := TimeBestMetered(reps, func() {
 				m := in.Clone()
 				v.run(m)
 			})
 			g := GFLOPS(flops, d)
+			Record(Row{Engine: v.name, N: n, Wall: d, GFLOPS: g, PctPeak: 100 * g / peak, Metrics: met})
 			t.Row(n, v.name, d, g, 100*g/peak)
 		}
 	}
@@ -103,11 +104,12 @@ func runFig11(w io.Writer, scale Scale) error {
 			{"I-GEP(b=64)", func(c *matrix.Dense[float64]) { linalg.MulIGEP(c, a, b, 64) }},
 			{"tiled(64)", func(c *matrix.Dense[float64]) { linalg.MulTiled(c, a, b, 64) }},
 		} {
-			d := TimeBest(reps, func() {
+			d, met := TimeBestMetered(reps, func() {
 				c := matrix.NewSquare[float64](n)
 				v.run(c)
 			})
 			g := GFLOPS(flops, d)
+			Record(Row{Engine: v.name, N: n, Wall: d, GFLOPS: g, PctPeak: 100 * g / peak, Metrics: met})
 			t.Row(n, v.name, d, g, 100*g/peak)
 		}
 	}
@@ -159,6 +161,8 @@ func runFig11(w io.Writer, scale Scale) error {
 		ag := cachesim.NewTraced[float64](randDense(n, 1), h, layout, base1)
 		bg := cachesim.NewTraced[float64](randDense(n, 2), h, layout, base2)
 		v.run(h, c, ag, bg)
+		Record(Row{Engine: v.name, N: n, Param: "sim=misses",
+			L1Misses: h.Level(0).Misses, L2Misses: h.Level(1).Misses})
 		t2.Row(v.name, h.Level(0).Misses, h.Level(1).Misses)
 	}
 	if _, err := t2.WriteTo(w); err != nil {

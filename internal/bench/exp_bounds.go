@@ -58,6 +58,14 @@ func runBounds(w io.Writer, scale Scale) error {
 		gepMiss := cachesim.SimulateLRU(gepTrace, m, lineB)
 		igepMiss := cachesim.SimulateLRU(igepTrace, m, lineB)
 		bElems := float64(lineB) / 8
+		Record(Row{Engine: "GEP", N: n, Param: fmt.Sprintf("M=%d", m),
+			Extra: map[string]float64{
+				"misses": float64(gepMiss), "norm_bsqrtm": float64(gepMiss) * bElems * sqrtM / n3,
+			}})
+		Record(Row{Engine: "I-GEP", N: n, Param: fmt.Sprintf("M=%d", m),
+			Extra: map[string]float64{
+				"misses": float64(igepMiss), "norm_bsqrtm": float64(igepMiss) * bElems * sqrtM / n3,
+			}})
 		t.Row(m, "GEP", gepMiss, float64(gepMiss)*bElems*sqrtM/n3, float64(gepMiss)*bElems/n3)
 		t.Row(m, "I-GEP", igepMiss, float64(igepMiss)*bElems*sqrtM/n3, float64(igepMiss)*bElems/n3)
 	}

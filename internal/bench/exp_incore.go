@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"gep/internal/apsp"
 	"gep/internal/cachesim"
@@ -39,22 +40,25 @@ func runFig8(w io.Writer, scale Scale) error {
 		g := apsp.Random(n, 0.3, 1000, int64(n))
 		in := g.DistanceMatrix()
 
-		dPure := TimeBest(reps, func() {
-			d := in.Clone()
-			apsp.FWGEPPure(d)
-		})
-		dOpt := TimeBest(reps, func() {
-			d := in.Clone()
-			apsp.FWGEP(d)
-		})
-		dIgep := TimeBest(reps, func() {
-			d := in.Clone()
-			apsp.FWIGEP(d, 64)
-		})
-		dTiled := TimeBest(reps, func() {
-			d := in.Clone()
-			apsp.FWIGEPTiled(d, 64)
-		})
+		variants := []struct {
+			name string
+			run  func(d *matrix.Dense[float64])
+		}{
+			{"GEP-pure", func(d *matrix.Dense[float64]) { apsp.FWGEPPure(d) }},
+			{"GEP-opt", func(d *matrix.Dense[float64]) { apsp.FWGEP(d) }},
+			{"I-GEP(b=64)", func(d *matrix.Dense[float64]) { apsp.FWIGEP(d, 64) }},
+			{"I-GEP tiled", func(d *matrix.Dense[float64]) { apsp.FWIGEPTiled(d, 64) }},
+		}
+		times := make([]time.Duration, len(variants))
+		for vi, v := range variants {
+			d, met := TimeBestMetered(reps, func() {
+				d := in.Clone()
+				v.run(d)
+			})
+			times[vi] = d
+			Record(Row{Engine: v.name, N: n, Wall: d, Metrics: met})
+		}
+		dPure, dOpt, dIgep, dTiled := times[0], times[1], times[2], times[3]
 		t.Row(n, dPure, dOpt, dIgep, dTiled,
 			float64(dPure)/float64(dTiled), float64(dOpt)/float64(dTiled))
 	}
@@ -80,18 +84,21 @@ func runFig9(w io.Writer, scale Scale) error {
 	for _, n := range sizes {
 		in := fwInput(n, int64(n))
 		base := core.WithBaseSize[float64](32)
-		dI := TimeBest(2, func() {
+		dI, metI := TimeBestMetered(2, func() {
 			m := in.Clone()
 			core.RunIGEP[float64](m, fwUpdate, core.Full{}, base)
 		})
-		dC4 := TimeBest(2, func() {
+		dC4, metC4 := TimeBestMetered(2, func() {
 			m := in.Clone()
 			core.RunCGEP[float64](m, fwUpdate, core.Full{}, base)
 		})
-		dC2 := TimeBest(2, func() {
+		dC2, metC2 := TimeBestMetered(2, func() {
 			m := in.Clone()
 			core.RunCGEPCompact[float64](m, fwUpdate, core.Full{}, base)
 		})
+		Record(Row{Engine: "I-GEP", N: n, Wall: dI, Metrics: metI})
+		Record(Row{Engine: "C-GEP(4n^2)", N: n, Wall: dC4, Metrics: metC4})
+		Record(Row{Engine: "C-GEP(2n^2)", N: n, Wall: dC2, Metrics: metC2})
 		t.Row(n, dI, dC4, dC2, float64(dC4)/float64(dI), float64(dC2)/float64(dI))
 	}
 	if _, err := t.WriteTo(w); err != nil {
@@ -138,6 +145,8 @@ func runFig9(w io.Writer, scale Scale) error {
 				return r
 			}
 			v.run(h, traced, aux)
+			Record(Row{Engine: v.name, N: n, Param: "sim=misses",
+				L1Misses: h.Level(0).Misses, L2Misses: h.Level(1).Misses})
 			t2.Row(n, v.name, h.Level(0).Misses, h.Level(1).Misses)
 		}
 	}

@@ -40,6 +40,13 @@ func runLemma31(w io.Writer, scale Scale) error {
 			ws := sched.ScheduleWorkStealing(tp, p, 1)
 			qws := sched.DistributedMissesWS(tp, p, cacheTiles, 1)
 			qs := sched.SharedMisses(tp, p, cacheTiles)
+			Record(Row{Engine: wl.String(), N: n, Param: fmt.Sprintf("p=%d", p),
+				Extra: map[string]float64{
+					"q_greedy":    float64(qd),
+					"q_worksteal": float64(qws),
+					"steals":      float64(ws.Steals),
+					"q_shared":    float64(qs),
+				}})
 			t.Row(wl.String(), p, qd, qws, ws.Steals, qs, float64(qs)/float64(q1s))
 		}
 	}

@@ -122,6 +122,12 @@ func runFig7a(w io.Writer, scale Scale) error {
 			if err != nil {
 				return err
 			}
+			Record(Row{Engine: a.name, N: n, Param: fmt.Sprintf("M=1/%d", frac), Wall: wall,
+				Extra: map[string]float64{
+					"page_reads":  float64(st.PageReads),
+					"page_writes": float64(st.PageWrites),
+					"io_wait_ns":  float64(ioWait.Nanoseconds()),
+				}})
 			t.Row(fmt.Sprintf("1/%d", frac), a.name, st.PageReads, st.PageWrites, ioWait, wall)
 		}
 	}
@@ -154,6 +160,12 @@ func runFig7b(w io.Writer, scale Scale) error {
 			if err != nil {
 				return err
 			}
+			Record(Row{Engine: a.name, N: n, Param: fmt.Sprintf("B=%d", b),
+				Extra: map[string]float64{
+					"page_reads":  float64(st.PageReads),
+					"page_writes": float64(st.PageWrites),
+					"io_wait_ns":  float64(ioWait.Nanoseconds()),
+				}})
 			t.Row(b, cache/int64(b), a.name, st.PageReads, st.PageWrites, ioWait)
 		}
 	}

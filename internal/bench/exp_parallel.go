@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"time"
 
 	"gep/internal/apsp"
 	"gep/internal/linalg"
@@ -40,9 +41,15 @@ func runFig12(w io.Writer, scale Scale) error {
 		plan := sched.BuildPlan(wl, n, grain)
 		curve := sched.SpeedupCurve(plan, procs)
 		byP := map[int]float64{}
+		extra := map[string]float64{
+			"t1":   float64(sched.TotalWork(plan)),
+			"tinf": float64(sched.Span(plan)),
+		}
 		for _, c := range curve {
 			byP[c.P] = c.Speedup
+			extra[fmt.Sprintf("speedup_p%d", c.P)] = c.Speedup
 		}
+		Record(Row{Engine: wl.String(), N: n, Param: "model=dag", Extra: extra})
 		t.Row(wl.String(), sched.TotalWork(plan), sched.Span(plan),
 			byP[1], byP[2], byP[4], byP[6], byP[8])
 	}
@@ -64,42 +71,47 @@ func runFig12(w io.Writer, scale Scale) error {
 	fmt.Fprintf(w, "\nGoroutine implementations at GOMAXPROCS=%d (n=%d):\n\n", runtime.GOMAXPROCS(0), nReal)
 	var t2 Table
 	t2.Header("workload", "serial", "parallel(grain=64)", "ratio")
+	record := func(workload string, ds, dp time.Duration, metS, metP map[string]int64) {
+		Record(Row{Engine: workload, N: nReal, Param: "exec=serial", Wall: ds, Metrics: metS})
+		Record(Row{Engine: workload, N: nReal, Param: "exec=parallel", Wall: dp, Metrics: metP})
+		t2.Row(workload, ds, dp, float64(ds)/float64(dp))
+	}
 	{
 		a, b := randDense(nReal, 3), randDense(nReal, 4)
-		ds := TimeBest(2, func() {
+		ds, metS := TimeBestMetered(2, func() {
 			c := newZero(nReal)
 			linalg.MulIGEP(c, a, b, 32)
 		})
-		dp := TimeBest(2, func() {
+		dp, metP := TimeBestMetered(2, func() {
 			c := newZero(nReal)
 			linalg.MulIGEPParallel(c, a, b, 32, 64)
 		})
-		t2.Row("MM", ds, dp, float64(ds)/float64(dp))
+		record("MM", ds, dp, metS, metP)
 	}
 	{
 		in := diagDom(nReal, 5)
-		ds := TimeBest(2, func() {
+		ds, metS := TimeBestMetered(2, func() {
 			m := in.Clone()
 			linalg.LUIGEP(m, 32)
 		})
-		dp := TimeBest(2, func() {
+		dp, metP := TimeBestMetered(2, func() {
 			m := in.Clone()
 			linalg.LUIGEPParallel(m, 32, 64)
 		})
-		t2.Row("GE", ds, dp, float64(ds)/float64(dp))
+		record("GE", ds, dp, metS, metP)
 	}
 	{
 		g := apsp.Random(nReal, 0.3, 1000, 6)
 		in := g.DistanceMatrix()
-		ds := TimeBest(2, func() {
+		ds, metS := TimeBestMetered(2, func() {
 			d := in.Clone()
 			apsp.FWIGEP(d, 32)
 		})
-		dp := TimeBest(2, func() {
+		dp, metP := TimeBestMetered(2, func() {
 			d := in.Clone()
 			apsp.FWParallel(d, 32, 64)
 		})
-		t2.Row("FW", ds, dp, float64(ds)/float64(dp))
+		record("FW", ds, dp, metS, metP)
 	}
 	_, err := t2.WriteTo(w)
 	return err

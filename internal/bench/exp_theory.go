@@ -63,6 +63,8 @@ func runTable1(w io.Writer, scale Scale) error {
 			gRes = "FAIL: " + gErr.Error()
 		}
 		t.Row(name, n, count, fRes, gRes)
+		Record(Row{Engine: name, N: n, Status: "F:" + fRes + " G:" + gRes,
+			Extra: map[string]float64{"updates": float64(count)}})
 		if err != nil {
 			return err
 		}
@@ -105,6 +107,9 @@ func runTable1(w io.Writer, scale Scale) error {
 // experiments).
 func runTable2(w io.Writer, scale Scale) error {
 	h := Host()
+	Record(Row{Engine: "host", Extra: map[string]float64{
+		"cpus": float64(h.CPUs), "peak_gflops": h.PeakGFLOPS,
+	}})
 	var t Table
 	t.Header("property", "value")
 	t.Row("go", h.GoVersion)

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gep/internal/metrics"
+)
+
+// Machine-readable telemetry. Every experiment, in addition to its
+// human-readable text table, can emit structured rows into a
+// BENCH_<experiment>.json report: one Report per experiment, one Row
+// per measured configuration (engine × size × parameter). Reports are
+// the substrate for regression tracking — `gep-bench compare` (see
+// compare.go) diffs two of them and fails past a threshold — and CI
+// archives one per push, so the performance trajectory of the repo is
+// queryable instead of living in eyeballed text files.
+//
+// The schema is documented with a worked example in EXPERIMENTS.md
+// ("Machine-readable results"); bump ReportSchema when changing it
+// incompatibly.
+
+// ReportSchema is the version stamp written into every report.
+const ReportSchema = 1
+
+// Row is one structured measurement: an engine (algorithm variant) at
+// one configuration. Zero-valued fields are omitted from the JSON, so
+// a row carries exactly the measurements its experiment produced.
+type Row struct {
+	// Experiment names the producing experiment; Record fills it in
+	// from the active report.
+	Experiment string `json:"experiment,omitempty"`
+	// Engine is the algorithm variant measured, e.g. "I-GEP(b=64)".
+	Engine string `json:"engine"`
+	// N is the problem side length, when the row has one.
+	N int `json:"n,omitempty"`
+	// Param is the remaining configuration axis, formatted "name=value"
+	// (e.g. "base=64", "p=8", "M=8192"); it is part of the row identity
+	// for compare.
+	Param string `json:"param,omitempty"`
+	// Wall is the measured wall-clock time in nanoseconds.
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	// GFLOPS is the achieved floating-point rate, when meaningful.
+	GFLOPS float64 `json:"gflops,omitempty"`
+	// PctPeak is GFLOPS as a percentage of the calibrated host peak.
+	PctPeak float64 `json:"pct_peak,omitempty"`
+	// L1Misses / L2Misses are simulated cache misses (internal/cachesim).
+	L1Misses int64 `json:"sim_l1_misses,omitempty"`
+	L2Misses int64 `json:"sim_l2_misses,omitempty"`
+	// Status carries pass/fail for theorem-checking experiments.
+	Status string `json:"status,omitempty"`
+	// Extra holds experiment-specific numeric results (page transfer
+	// counts, speedups, normalized bound constants, ...).
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Metrics is the engine-counter delta attributed to this row
+	// (see TimeBestMetered), keyed by counter name.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+}
+
+// Report is the machine-readable result of one experiment run; it is
+// what BENCH_<experiment>.json contains.
+type Report struct {
+	// Schema is ReportSchema at write time.
+	Schema int `json:"schema"`
+	// Experiment and Title identify the paper artifact reproduced.
+	Experiment string `json:"experiment"`
+	Title      string `json:"title,omitempty"`
+	// Scale is "small" or "full".
+	Scale string `json:"scale"`
+	// Timestamp is the RFC 3339 UTC start time of the run.
+	Timestamp string `json:"timestamp,omitempty"`
+	// Host describes the measuring machine and its calibrated peak.
+	Host HostInfo `json:"host"`
+	// Wall is the wall-clock time of the whole experiment.
+	Wall time.Duration `json:"wall_ns,omitempty"`
+	// Metrics is the delta of every engine counter (internal/metrics)
+	// across the experiment: forks, kernel dispatches, pool decisions,
+	// simulated misses.
+	Metrics map[string]int64 `json:"metrics,omitempty"`
+	// Rows are the per-configuration measurements.
+	Rows []Row `json:"rows"`
+}
+
+// Validate checks the invariants every consumer (compare, CI) relies
+// on: known schema version, a named experiment and scale, and a named
+// engine on every row.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("bench: unsupported report schema %d (want %d)", r.Schema, ReportSchema)
+	}
+	if r.Experiment == "" {
+		return fmt.Errorf("bench: report has no experiment name")
+	}
+	if r.Scale == "" {
+		return fmt.Errorf("bench: report %s has no scale", r.Experiment)
+	}
+	for i, row := range r.Rows {
+		if row.Engine == "" {
+			return fmt.Errorf("bench: report %s row %d has no engine", r.Experiment, i)
+		}
+	}
+	return nil
+}
+
+// String returns the Scale's flag spelling.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "small"
+}
+
+// active is the report currently being recorded, nil when structured
+// output is disabled. Like csvSink, recording is single-run state: the
+// harness runs experiments one at a time.
+var active *Report
+
+// StartReport begins structured recording for one experiment; rows
+// passed to Record accumulate until FinishReport. Recording is
+// disabled again by FinishReport, so experiments run by `go test` or
+// without -json never pay for or produce reports.
+func StartReport(e Experiment, scale Scale) {
+	active = &Report{
+		Schema:     ReportSchema,
+		Experiment: e.Name,
+		Title:      e.Title,
+		Scale:      scale.String(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Host:       Host(),
+		Rows:       []Row{},
+	}
+}
+
+// Record appends a structured row to the active report; it is a no-op
+// when no report is being recorded, so experiments call it
+// unconditionally alongside their Table rows.
+func Record(r Row) {
+	if active == nil {
+		return
+	}
+	r.Experiment = active.Experiment
+	active.Rows = append(active.Rows, r)
+}
+
+// Recording reports whether a report is being recorded. Experiments
+// with expensive opt-in instrumentation can consult it; most just call
+// Record unconditionally.
+func Recording() bool { return active != nil }
+
+// FinishReport ends recording and returns the accumulated report
+// (nil when none was started).
+func FinishReport() *Report {
+	r := active
+	active = nil
+	return r
+}
+
+// ReportPath returns the conventional file name for an experiment's
+// report inside dir: BENCH_<experiment>.json.
+func ReportPath(dir, experiment string) string {
+	return filepath.Join(dir, "BENCH_"+experiment+".json")
+}
+
+// WriteReport validates r and writes it to ReportPath(dir, ...),
+// creating dir if needed.
+func WriteReport(dir string, r *Report) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(ReportPath(dir, r.Experiment), append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and validates one report file.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// RunOptions configures one harness invocation of an experiment.
+type RunOptions struct {
+	// CSVDir, when non-empty, mirrors every rendered table as CSV
+	// files into the directory (see SetCSVDir).
+	CSVDir string
+	// JSONDir, when non-empty, records structured rows and writes
+	// BENCH_<experiment>.json into the directory.
+	JSONDir string
+}
+
+// RunExperiment executes e at the given scale with the configured
+// artifact sinks: text always goes to w, CSV and JSON outputs are
+// written when their directories are set. The JSON report includes the
+// delta of every engine counter across the run.
+func RunExperiment(w io.Writer, e Experiment, scale Scale, opts RunOptions) error {
+	if opts.CSVDir != "" {
+		if err := os.MkdirAll(opts.CSVDir, 0o755); err != nil {
+			return err
+		}
+		SetCSVDir(opts.CSVDir, e.Name)
+		defer SetCSVDir("", "")
+	}
+	var before map[string]int64
+	if opts.JSONDir != "" {
+		StartReport(e, scale)
+		defer FinishReport() // no-op when the normal path below ran
+		before = metrics.Snapshot()
+	}
+	start := time.Now()
+	err := e.Run(w, scale)
+	wall := time.Since(start)
+	if opts.JSONDir != "" {
+		rep := FinishReport()
+		rep.Wall = wall
+		rep.Metrics = metrics.Diff(before, metrics.Snapshot())
+		if err == nil {
+			err = WriteReport(opts.JSONDir, rep)
+		}
+	}
+	return err
+}
+
+// TimeBestMetered is TimeBest plus telemetry: it runs f reps times,
+// returns the fastest wall-clock duration, and the engine-counter
+// delta of the final repetition (the counters are deterministic per
+// repetition, so the last one stands for all). When no report is being
+// recorded it skips the snapshots and returns a nil map.
+func TimeBestMetered(reps int, f func()) (time.Duration, map[string]int64) {
+	if !Recording() {
+		return TimeBest(reps, f), nil
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps-1; i++ {
+		if d := TimeIt(f); d < best {
+			best = d
+		}
+	}
+	before := metrics.Snapshot()
+	if d := TimeIt(f); d < best {
+		best = d
+	}
+	return best, metrics.Diff(before, metrics.Snapshot())
+}

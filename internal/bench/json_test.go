@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeExperiment returns an unregistered experiment that records two
+// structured rows, for exercising the report pipeline without the cost
+// of a real experiment.
+func fakeExperiment() Experiment {
+	return Experiment{
+		Name:  "fake",
+		Title: "round-trip fixture",
+		Run: func(w io.Writer, scale Scale) error {
+			Record(Row{Engine: "I-GEP", N: 256, Param: "base=64",
+				Wall: 123456789, GFLOPS: 1.5, PctPeak: 42.0,
+				Metrics: map[string]int64{"core.kernel.flat": 64}})
+			Record(Row{Engine: "GEP", N: 256, Wall: 987654321,
+				L1Misses: 1000, L2Misses: 100,
+				Extra: map[string]float64{"page_reads": 7}})
+			_, err := io.WriteString(w, "text output\n")
+			return err
+		},
+	}
+}
+
+// TestReportRoundTrip is the schema golden test: a report produced by
+// the harness path (StartReport → Record → write) must load back
+// field-for-field identical through LoadReport.
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	e := fakeExperiment()
+	if err := RunExperiment(&buf, e, Small, RunOptions{JSONDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "text output\n" {
+		t.Fatalf("text output lost: %q", buf.String())
+	}
+
+	got, err := LoadReport(ReportPath(dir, "fake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != ReportSchema || got.Experiment != "fake" || got.Scale != "small" {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Host.GoVersion == "" || got.Host.CPUs < 1 {
+		t.Fatalf("host header missing: %+v", got.Host)
+	}
+	if got.Wall <= 0 {
+		t.Fatalf("experiment wall time missing: %v", got.Wall)
+	}
+	if got.Timestamp == "" {
+		t.Fatal("timestamp missing")
+	}
+	want := []Row{
+		{Experiment: "fake", Engine: "I-GEP", N: 256, Param: "base=64",
+			Wall: 123456789, GFLOPS: 1.5, PctPeak: 42.0,
+			Metrics: map[string]int64{"core.kernel.flat": 64}},
+		{Experiment: "fake", Engine: "GEP", N: 256, Wall: 987654321,
+			L1Misses: 1000, L2Misses: 100,
+			Extra: map[string]float64{"page_reads": 7}},
+	}
+	if !reflect.DeepEqual(got.Rows, want) {
+		t.Fatalf("rows did not round-trip:\ngot  %+v\nwant %+v", got.Rows, want)
+	}
+}
+
+// TestRealExperimentReport runs a cheap registered experiment end to
+// end with JSON output and validates the result — the same path as
+// `gep-bench -json`.
+func TestRealExperimentReport(t *testing.T) {
+	dir := t.TempDir()
+	e, ok := Get("table2")
+	if !ok {
+		t.Fatal("table2 not registered")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, e, Small, RunOptions{JSONDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReport(ReportPath(dir, "table2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("table2 recorded no rows")
+	}
+	if r.Rows[0].Extra["peak_gflops"] <= 0 {
+		t.Fatalf("peak not recorded: %+v", r.Rows[0])
+	}
+}
+
+func TestRecordIsNoOpWithoutReport(t *testing.T) {
+	if Recording() {
+		t.Fatal("recording unexpectedly active")
+	}
+	Record(Row{Engine: "x"}) // must not panic or leak anywhere
+	if FinishReport() != nil {
+		t.Fatal("FinishReport should be nil without StartReport")
+	}
+}
+
+func TestValidateRejectsBadReports(t *testing.T) {
+	cases := []Report{
+		{Schema: ReportSchema + 1, Experiment: "e", Scale: "small"},
+		{Schema: ReportSchema, Scale: "small"},
+		{Schema: ReportSchema, Experiment: "e"},
+		{Schema: ReportSchema, Experiment: "e", Scale: "small", Rows: []Row{{}}},
+	}
+	for i, r := range cases {
+		if err := r.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestTimeBestMeteredWithoutRecording(t *testing.T) {
+	d, met := TimeBestMetered(2, func() { time.Sleep(time.Millisecond) })
+	if d < time.Millisecond/2 {
+		t.Fatalf("duration = %v", d)
+	}
+	if met != nil {
+		t.Fatalf("expected nil metrics outside recording, got %v", met)
+	}
+}

@@ -65,12 +65,15 @@ func fmaKernel(iters int) float64 {
 	return a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
 }
 
-// HostInfo describes the machine for the Table 2 reproduction.
+// HostInfo describes the machine for the Table 2 reproduction; it is
+// also the host header of every BENCH_*.json report, so compare can
+// warn when two runs came from different machines.
 type HostInfo struct {
-	GoVersion  string
-	OS, Arch   string
-	CPUs       int
-	PeakGFLOPS float64
+	GoVersion  string  `json:"go_version"`
+	OS         string  `json:"os"`
+	Arch       string  `json:"arch"`
+	CPUs       int     `json:"cpus"`
+	PeakGFLOPS float64 `json:"peak_gflops"`
 }
 
 // Host gathers the host description.

@@ -1,21 +1,18 @@
-// Package cachesim is an ideal-cache-model simulator: it counts the
-// block transfers (I/Os) an address trace incurs on a configurable
-// cache hierarchy. It stands in for the Cachegrind profiler the paper
-// uses (§4): cache-miss counts on a deterministic trace are themselves
-// deterministic, so the simulated counts reproduce the paper's
-// miss-count comparisons exactly in shape.
-//
-// The ideal-cache model assumes an optimal offline replacement policy;
-// following standard practice (Frigo et al., FOCS'99) the simulator
-// uses LRU, which is within a constant factor of optimal for
-// algorithms with regular reuse and is what real hardware approximates.
-// Both fully associative and set-associative geometries are supported,
-// so the paper's concrete L1 (8 KB, 4-way, B = 64 B) and L2 (512 KB,
-// 8-way, B = 64 B) can be modeled as well as the abstract (M, B)
-// ideal cache.
 package cachesim
 
-import "fmt"
+import (
+	"fmt"
+
+	"gep/internal/metrics"
+)
+
+// missCount totals simulated misses across every Cache instance and
+// level (a Hierarchy charges the miss at each level it passes
+// through). Per-cache breakdowns stay on Cache.Stats; this global sum
+// is the process-wide telemetry internal/bench snapshots into
+// BENCH_*.json, where "how much simulated traffic did this experiment
+// generate" is the interesting number.
+var missCount = metrics.New("cachesim.misses")
 
 // Cache simulates one level: capacity bytes, block (line) size bytes,
 // and associativity (ways per set; Assoc <= 0 means fully associative).
@@ -48,6 +45,7 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// String renders the counters in the harness's one-line report form.
 func (s Stats) String() string {
 	return fmt.Sprintf("%s: %d accesses, %d misses (%.4f%%)",
 		s.Name, s.Accesses, s.Misses, 100*s.MissRate())
@@ -100,6 +98,7 @@ func (c *Cache) Access(addr int64) bool {
 		return false
 	}
 	c.misses++
+	missCount.Inc()
 	set.insert(blockID)
 	return true
 }

@@ -1,0 +1,35 @@
+// Package cachesim is an ideal-cache-model simulator: it counts the
+// block transfers (I/Os) an address trace incurs on a configurable
+// cache hierarchy. It stands in for the Cachegrind profiler the paper
+// uses (§4): cache-miss counts on a deterministic trace are themselves
+// deterministic, so the simulated counts reproduce the paper's
+// miss-count comparisons exactly in shape.
+//
+// The ideal-cache model assumes an optimal offline replacement policy;
+// following standard practice (Frigo et al., FOCS'99) the simulator
+// uses LRU, which is within a constant factor of optimal for
+// algorithms with regular reuse and is what real hardware approximates.
+// Both fully associative and set-associative geometries are supported,
+// so the paper's concrete L1 (8 KB, 4-way, B = 64 B) and L2 (512 KB,
+// 8-way, B = 64 B) can be modeled as well as the abstract (M, B)
+// ideal cache.
+//
+// Key types and entry points:
+//
+//   - Cache / Hierarchy: one simulated level and an inclusive chain of
+//     levels, with per-level Stats counters. Pentium4Xeon and Opteron
+//     build the paper's Table 2 machines; Scaled builds reduced
+//     geometries so small matrices exercise the paper's capacity
+//     ratios; TLB models page-translation pressure (§4.2's stated
+//     reason for bit-interleaved layouts).
+//   - TracedGrid / TracedRect (traced.go): matrix.Grid wrappers that
+//     feed every element access through a hierarchy under a chosen
+//     address layout (RowMajor, MortonTiled).
+//   - TraceRecorder / SimulateLRU / SimulateOptimal (optimal.go):
+//     record a trace once and replay it against many cache sizes, or
+//     against Belady's provably minimal MIN policy.
+//
+// Every simulated miss is also totaled in internal/metrics
+// ("cachesim.misses"), so BENCH_*.json reports carry the simulated
+// I/O traffic of each experiment.
+package cachesim

@@ -135,6 +135,7 @@ func SimulateOptimal(addrs []int64, m, b int64) int64 {
 		current[blk] = nextUse[i]
 		heap.Push(h, useEntry{nextUse[i], blk})
 	}
+	missCount.Add(misses)
 	return misses
 }
 

@@ -65,22 +65,7 @@ type abcdState[T any] struct {
 // par runs the given tasks, concurrently when parallel execution is on
 // and the subproblem side s is above the grain. The last task always
 // runs on the calling goroutine.
-func (st *abcdState[T]) par(s int, tasks ...func()) {
-	if !st.cfg.parallel || s <= st.cfg.grain {
-		for _, t := range tasks {
-			t()
-		}
-		return
-	}
-	waits := make([]func(), 0, len(tasks)-1)
-	for _, t := range tasks[:len(tasks)-1] {
-		waits = append(waits, st.cfg.spawn(t))
-	}
-	tasks[len(tasks)-1]()
-	for _, w := range waits {
-		w()
-	}
-}
+func (st *abcdState[T]) par(s int, tasks ...func()) { parGroup(st.cfg, s, tasks...) }
 
 func (st *abcdState[T]) run(xi, xj, k0, s int) {
 	if st.cfg.prune && !st.set.Intersects(xi, xi+s-1, xj, xj+s-1, k0, k0+s-1) {
@@ -204,22 +189,7 @@ type disjointState[T any] struct {
 	flat           bool
 }
 
-func (st *disjointState[T]) par(s int, tasks ...func()) {
-	if !st.cfg.parallel || s <= st.cfg.grain {
-		for _, t := range tasks {
-			t()
-		}
-		return
-	}
-	waits := make([]func(), 0, len(tasks)-1)
-	for _, t := range tasks[:len(tasks)-1] {
-		waits = append(waits, st.cfg.spawn(t))
-	}
-	tasks[len(tasks)-1]()
-	for _, w := range waits {
-		w()
-	}
-}
+func (st *disjointState[T]) par(s int, tasks ...func()) { parGroup(st.cfg, s, tasks...) }
 
 func (st *disjointState[T]) run(xi, xj, k0, s int) {
 	if st.cfg.prune && !st.set.Intersects(xi, xi+s-1, xj, xj+s-1, k0, k0+s-1) {
@@ -230,6 +200,7 @@ func (st *disjointState[T]) run(xi, xj, k0, s int) {
 			st.kernelFlat(xi, xj, k0, s)
 			return
 		}
+		kernelGenericCount.Inc()
 		for k := k0; k < k0+s; k++ {
 			for i := xi; i < xi+s; i++ {
 				for j := xj; j < xj+s; j++ {

@@ -212,6 +212,7 @@ func (st *cgepState[T]) rec(i0, j0, k0, s int) {
 // discipline (lines 2-8 of Figure 3 for s == 1; the block-kernel
 // generalization otherwise).
 func (st *cgepState[T]) kernel(i0, j0, k0, s int) {
+	kernelGenericCount.Inc()
 	ucb, vrb := st.uColBase, st.vRowBase
 	for k := k0; k < k0+s; k++ {
 		for i := i0; i < i0+s; i++ {
@@ -275,6 +276,7 @@ func (st *cgepState[T]) kernel(i0, j0, k0, s int) {
 // per element because a save at j == k (u side) or i == k (v side) can
 // feed a later read in the same loop, exactly as in the generic path.
 func (st *cgepState[T]) kernelFlat(i0, j0, k0, s int) {
+	kernelFlatCount.Inc()
 	ucb, vrb := st.uColBase, st.vRowBase
 	rg := st.cfg.ranger
 	for k := k0; k < k0+s; k++ {

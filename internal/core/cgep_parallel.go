@@ -43,22 +43,7 @@ func RunCGEPParallel[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, op
 }
 
 // par runs tasks concurrently when enabled and above the grain.
-func (st *cgepState[T]) par(s int, tasks ...func()) {
-	if !st.cfg.parallel || s <= st.cfg.grain {
-		for _, t := range tasks {
-			t()
-		}
-		return
-	}
-	waits := make([]func(), 0, len(tasks)-1)
-	for _, t := range tasks[:len(tasks)-1] {
-		waits = append(waits, st.cfg.spawn(t))
-	}
-	tasks[len(tasks)-1]()
-	for _, w := range waits {
-		w()
-	}
-}
+func (st *cgepState[T]) par(s int, tasks ...func()) { parGroup(st.cfg, s, tasks...) }
 
 // recPar is H over the Figure 6 schedule.
 func (st *cgepState[T]) recPar(xi, xj, k0, s int) {

@@ -28,6 +28,7 @@ import "gep/internal/matrix"
 // igepKernelFlat is igepKernel over flat row-major storage. rg may be
 // nil, in which case membership is tested per element via set.
 func igepKernelFlat[T any](data []T, stride int, rg Ranger, f UpdateFunc[T], set UpdateSet, i0, j0, k0, s int) {
+	kernelFlatCount.Inc()
 	if rg != nil {
 		igepKernelFlatRange(data, stride, rg, f, i0, j0, k0, s)
 		return
@@ -121,6 +122,7 @@ func flatRectOf[T any](r matrix.Rect[T]) flatRect[T] {
 // exactly because the generic path's per-element re-reads can never
 // observe a change (only X is written).
 func (st *disjointState[T]) kernelFlat(xi, xj, k0, s int) {
+	kernelFlatCount.Inc()
 	rg := st.cfg.ranger
 	for k := k0; k < k0+s; k++ {
 		vk := st.fv.row(k)

@@ -62,6 +62,7 @@ func igep[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *config[T
 // "GEP-like iterative kernel" optimization, equivalent to the pure
 // recursion on every instance for which I-GEP itself is correct.
 func igepKernel[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, i0, j0, k0, s int) {
+	kernelGenericCount.Inc()
 	for k := k0; k < k0+s; k++ {
 		for i := i0; i < i0+s; i++ {
 			for j := j0; j < j0+s; j++ {

@@ -30,6 +30,7 @@ type LegalityReport struct {
 	Trials int
 }
 
+// String summarizes the verdict for harness output.
 func (r LegalityReport) String() string {
 	if r.Legal {
 		return fmt.Sprintf("no divergence in %d trials (I-GEP compatible up to tested sizes)", r.Trials)

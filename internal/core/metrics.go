@@ -1,0 +1,43 @@
+package core
+
+import "gep/internal/metrics"
+
+// Engine telemetry. Counters cost one atomic add per event and are
+// incremented at recursion granularity, never per element: a fork is
+// one task handed to the spawner by a Figure-6 schedule, and a kernel
+// dispatch is one base-case block (baseSize² elements of work per
+// increment, so at the tuned base sizes the overhead is unmeasurable;
+// only the pure baseSize=1 recursion pays one add per update, and that
+// configuration exists for theory validation, not performance).
+// internal/bench snapshots these around every experiment so each
+// BENCH_*.json row can report, e.g., what fraction of base cases took
+// the flat fast path of fastpath.go.
+var (
+	forkCount          = metrics.New("core.forks")
+	kernelFlatCount    = metrics.New("core.kernel.flat")
+	kernelGenericCount = metrics.New("core.kernel.generic")
+)
+
+// parGroup executes tasks as one fork-join group: when parallel
+// execution is enabled and the subproblem side s is above the grain,
+// all but the last task are offered to the spawner and the last runs
+// on the calling goroutine; otherwise all run serially in order. It is
+// the shared body of the A/B/C/D, disjoint, and parallel C-GEP
+// `parallel:` steps (Figure 6).
+func parGroup[T any](cfg *config[T], s int, tasks ...func()) {
+	if !cfg.parallel || s <= cfg.grain {
+		for _, t := range tasks {
+			t()
+		}
+		return
+	}
+	forkCount.Add(int64(len(tasks) - 1))
+	waits := make([]func(), 0, len(tasks)-1)
+	for _, t := range tasks[:len(tasks)-1] {
+		waits = append(waits, cfg.spawn(t))
+	}
+	tasks[len(tasks)-1]()
+	for _, w := range waits {
+		w()
+	}
+}

@@ -1,11 +1,3 @@
-// Package matrix provides the dense-matrix substrate used by the GEP
-// (Gaussian Elimination Paradigm) framework: row-major storage with
-// strided submatrix views, bit-interleaved (Morton) tiled layouts, and
-// power-of-two padding.
-//
-// The GEP algorithms (see internal/core) access matrices through the
-// small Grid interface so that the same algorithm code can run over
-// in-core matrices, cache-simulator tracers, and out-of-core stores.
 package matrix
 
 import (

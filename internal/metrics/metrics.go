@@ -1,0 +1,129 @@
+// Package metrics provides the cheap global counters behind the
+// harness telemetry: every engine records what it actually did — forks
+// handed to the worker pool, fast-path vs generic base-case kernel
+// dispatches, pool submissions vs inline runs, simulated cache misses —
+// and the benchmark harness (internal/bench) snapshots the counters
+// around each experiment so the deltas land in the BENCH_*.json
+// reports next to the wall-clock numbers.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost: one uncontended atomic add, zero allocation, no
+//     locks. Counters are incremented from inside parallel recursions
+//     (internal/core, internal/par), so anything heavier would distort
+//     the very numbers the harness measures. The package mutex guards
+//     only registration and Snapshot, which happen per process / per
+//     experiment, never per update.
+//  2. Queryability: Snapshot returns all counters by name, Diff turns
+//     two snapshots into per-counter deltas, and the whole registry is
+//     published through expvar as "gep.metrics" so a live process
+//     (e.g. one started with -trace or a future server mode) exposes
+//     the counters on /debug/vars without extra wiring.
+//
+// Counter names are dotted paths, "<package>.<event>", e.g.
+// "core.kernel.flat" or "par.spawn.inline"; the authoritative list
+// lives with the packages that own the events (internal/par/par.go,
+// internal/core/metrics.go, internal/cachesim/cache.go).
+package metrics
+
+import (
+	"expvar"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event counter. The zero value
+// is unusable; obtain counters with New so they join the registry.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the registered dotted name.
+func (c *Counter) Name() string { return c.name }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any int64; counters conventionally only grow).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Counter{}
+)
+
+// New registers and returns a counter with the given dotted name.
+// Registration normally happens in package var blocks; duplicate names
+// panic because they would make Snapshot ambiguous.
+func New(name string) *Counter {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("metrics: duplicate counter " + name)
+	}
+	c := &Counter{name: name}
+	registry[name] = c
+	return c
+}
+
+// Snapshot returns the current value of every registered counter,
+// keyed by name. The map is a copy; mutating it does not affect the
+// counters.
+func Snapshot() map[string]int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make(map[string]int64, len(registry))
+	for name, c := range registry {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Diff returns after[k] - before[k] for every key of after, omitting
+// zero deltas (and counters that did not yet exist in before are
+// reported from zero). The result is what a BENCH_*.json report stores
+// per experiment: only the counters the experiment actually moved.
+func Diff(before, after map[string]int64) map[string]int64 {
+	out := map[string]int64{}
+	for name, v := range after {
+		if d := v - before[name]; d != 0 {
+			out[name] = d
+		}
+	}
+	return out
+}
+
+// Reset zeroes every registered counter. It exists for tests and for
+// long-lived processes that want per-phase absolute values; the bench
+// harness prefers Snapshot+Diff, which needs no reset and is safe
+// under concurrent counting.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, c := range registry {
+		c.v.Store(0)
+	}
+}
+
+// Names returns the registered counter names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	// One expvar map for the whole registry: /debug/vars shows
+	// {"gep.metrics": {"core.kernel.flat": ..., ...}}.
+	expvar.Publish("gep.metrics", expvar.Func(func() any { return Snapshot() }))
+}

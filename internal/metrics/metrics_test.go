@@ -1,0 +1,92 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	c := New("test.basic")
+	if c.Name() != "test.basic" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("value = %d, want 42", got)
+	}
+	if got := Snapshot()["test.basic"]; got != 42 {
+		t.Fatalf("snapshot = %d, want 42", got)
+	}
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	New("test.dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	New("test.dup")
+}
+
+func TestDiff(t *testing.T) {
+	before := map[string]int64{"a": 10, "b": 5}
+	after := map[string]int64{"a": 10, "b": 9, "c": 3}
+	d := Diff(before, after)
+	if len(d) != 2 || d["b"] != 4 || d["c"] != 3 {
+		t.Fatalf("diff = %v", d)
+	}
+	if _, ok := d["a"]; ok {
+		t.Fatal("zero delta should be omitted")
+	}
+}
+
+func TestResetAndNames(t *testing.T) {
+	c := New("test.reset")
+	c.Add(7)
+	Reset()
+	if c.Value() != 0 {
+		t.Fatalf("after reset: %d", c.Value())
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test.reset" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() missing test.reset: %v", Names())
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	c := New("test.concurrent")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("concurrent value = %d, want 8000", c.Value())
+	}
+}
+
+func TestExpvarPublished(t *testing.T) {
+	v := expvar.Get("gep.metrics")
+	if v == nil {
+		t.Fatal("gep.metrics not published")
+	}
+	var m map[string]int64
+	if err := json.Unmarshal([]byte(v.String()), &m); err != nil {
+		t.Fatalf("expvar value not JSON: %v", err)
+	}
+}

@@ -1,0 +1,25 @@
+// Package ooc provides the out-of-core substrate for the paper's
+// external-memory experiments (§4.1): a file-backed store of float64
+// values with an in-RAM page cache of configurable size M and page
+// (block) size B, LRU replacement and dirty write-back — the role
+// STXXL plays in the paper. Counters record every page transfer, and a
+// disk-time model calibrated to the paper's Fujitsu MAP3735NC drive
+// (10K RPM, 4.5 ms average seek, ~85 MB/s transfer) converts transfer
+// counts into the "I/O wait time" the paper plots in Figure 7.
+//
+// The store is single-goroutine (the out-of-core algorithms are run
+// sequentially, as in the paper).
+//
+// Key types and entry points:
+//
+//   - Config / DefaultDisk / Store: the (M, B) cache geometry plus
+//     disk model, and the file-backed page cache itself; Stats and
+//     IOTime report the page-transfer counters and modeled disk time
+//     that feed the Figure 7 rows in BENCH_ooc.json.
+//   - Matrix / NewMatrix with RowMajorLayout or MortonTiledLayout:
+//     a matrix.Grid[float64] view over the store, so the unmodified
+//     internal/core engines run out-of-core; Load/Unload move whole
+//     matrices across the RAM boundary.
+//   - Rect / TiledRect: rectangular views used by C-GEP's auxiliary
+//     buffers and the tiled I-GEP variant.
+package ooc

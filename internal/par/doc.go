@@ -1,0 +1,22 @@
+// Package par provides the bounded fork-join spawner shared by the
+// parallel GEP engines (internal/core, internal/linalg, internal/apsp).
+//
+// The multithreaded recursions of Figure 6 expose far more parallel
+// tasks than there are processors: spawning a goroutine per task
+// oversubscribes the scheduler and loses the locality that makes
+// work-stealing analyses (Lemma 3.1, modeled in internal/sched) work —
+// a LIFO-executing worker keeps a subtree's blocks in its cache. This
+// package bounds concurrency the way a work-stealing pool does at the
+// "steal" boundary: a fixed budget of GOMAXPROCS worker slots, and a
+// task that finds no free slot runs inline on its caller, exactly as an
+// unstolen Cilk child would. Inline fallback also makes nested Spawn
+// calls trivially deadlock-free: a task never blocks waiting for a
+// slot.
+//
+// Key entry points: Spawn offers one task to the pool and returns a
+// wait function (the signature core.WithSpawn expects); Do executes a
+// slice of tasks as one fork-join group. Both record their
+// pooled-vs-inline decisions in internal/metrics ("par.spawn.pooled",
+// "par.spawn.inline"), which is the live saturation signal of the
+// pool in BENCH_*.json telemetry.
+package par

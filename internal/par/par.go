@@ -1,25 +1,24 @@
-// Package par provides the bounded fork-join spawner shared by the
-// parallel GEP engines (internal/core, internal/linalg, internal/apsp).
-//
-// The multithreaded recursions of Figure 6 expose far more parallel
-// tasks than there are processors: spawning a goroutine per task
-// oversubscribes the scheduler and loses the locality that makes
-// work-stealing analyses (Lemma 3.1, modeled in internal/sched) work —
-// a LIFO-executing worker keeps a subtree's blocks in its cache. This
-// package bounds concurrency the way a work-stealing pool does at the
-// "steal" boundary: a fixed budget of GOMAXPROCS worker slots, and a
-// task that finds no free slot runs inline on its caller, exactly as an
-// unstolen Cilk child would. Inline fallback also makes nested Spawn
-// calls trivially deadlock-free: a task never blocks waiting for a
-// slot.
 package par
 
-import "runtime"
+import (
+	"runtime"
+
+	"gep/internal/metrics"
+)
 
 // sem holds one token per worker slot. The budget is fixed at package
 // init from GOMAXPROCS; a token is held for the lifetime of the
 // spawned goroutine.
 var sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Telemetry: how often tasks actually reached a pool worker vs ran
+// inline on their caller. The ratio is the live saturation signal —
+// near-zero inline runs mean spare slots, mostly-inline means the pool
+// is the bottleneck. Snapshots land in BENCH_*.json via internal/bench.
+var (
+	pooledCount = metrics.New("par.spawn.pooled")
+	inlineCount = metrics.New("par.spawn.inline")
+)
 
 // Spawn runs task on a pool worker when a slot is free and inline on
 // the caller otherwise. The returned wait function blocks until task
@@ -28,6 +27,7 @@ var sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 func Spawn(task func()) (wait func()) {
 	select {
 	case sem <- struct{}{}:
+		pooledCount.Inc()
 		done := make(chan struct{})
 		go func() {
 			defer func() {
@@ -38,6 +38,7 @@ func Spawn(task func()) (wait func()) {
 		}()
 		return func() { <-done }
 	default:
+		inlineCount.Inc()
 		task()
 		return func() {}
 	}

@@ -1,17 +1,3 @@
-// Package sched simulates parallel execution of multithreaded I-GEP.
-// It builds the exact task DAG induced by the A/B/C/D recursion of
-// Figure 6 (sequential steps ordered, `parallel:` groups unordered)
-// with base-case blocks as weighted leaves, then list-schedules the
-// DAG greedily on p virtual processors.
-//
-// This is the substitute for the paper's 8-processor pthreads
-// experiment (Figure 12) on hardware without 8 cores: the simulated
-// makespan T_p reflects the true work/critical-path structure, so the
-// paper's qualitative result — matrix multiplication (all-D recursion,
-// span O(n)) speeds up better than Floyd-Warshall and Gaussian
-// elimination (A recursion, span O(n log² n)) — emerges from the DAG
-// itself rather than being asserted. Greedy list scheduling obeys the
-// classic bound T_p <= T_1/p + T_inf, matching Theorem 3.1's model.
 package sched
 
 import "fmt"
@@ -55,6 +41,8 @@ const (
 	MM
 )
 
+// String returns the workload's short name as used in figures and
+// reports.
 func (w Workload) String() string {
 	switch w {
 	case FW:

@@ -1,0 +1,26 @@
+// Package trace instruments GEP executions and checks them against the
+// paper's theory:
+//
+//   - Theorem 2.1: I-GEP performs exactly the updates of Σ_G, each at
+//     most once, and per-cell in increasing k order.
+//   - Theorem 2.2: immediately before I-GEP applies ⟨i,j,k⟩, the four
+//     operands hold the historical states c_{k-1}(i,j),
+//     c_{π(j,k)}(i,k), c_{π(i,k)}(k,j) and c_{δ(i,j,k)}(k,k).
+//   - Table 1 (column G): the iterative GEP reads states ĉ_{k-1}(i,j),
+//     ĉ_{k-[j<=k]}(i,k), ĉ_{k-[i<=k]}(k,j) and
+//     ĉ_{k-[(i<k) ∨ (i=k ∧ j<=k)]}(k,k).
+//
+// The checkers power both the test suite and the `gep-bench table1`
+// experiment. States are numbered 0-based with -1 for the initial
+// value, matching package core.
+//
+// Key types and entry points:
+//
+//   - Recorder: wraps a core.UpdateFunc to capture every applied
+//     update (triple, timestamp, operand values, result); safe for
+//     concurrent use so parallel executions can be traced.
+//   - CheckTheorem21 / CheckTheorem22 / CheckTableOneG: the three
+//     verifiers over a recorded update stream.
+//   - VerifyIGEP / VerifyGEP: one-call run-and-check wrappers used by
+//     the table1 experiment; they return the update count checked.
+package trace

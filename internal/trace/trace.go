@@ -1,18 +1,3 @@
-// Package trace instruments GEP executions and checks them against the
-// paper's theory:
-//
-//   - Theorem 2.1: I-GEP performs exactly the updates of Σ_G, each at
-//     most once, and per-cell in increasing k order.
-//   - Theorem 2.2: immediately before I-GEP applies ⟨i,j,k⟩, the four
-//     operands hold the historical states c_{k-1}(i,j),
-//     c_{π(j,k)}(i,k), c_{π(i,k)}(k,j) and c_{δ(i,j,k)}(k,k).
-//   - Table 1 (column G): the iterative GEP reads states ĉ_{k-1}(i,j),
-//     ĉ_{k-[j<=k]}(i,k), ĉ_{k-[i<=k]}(k,j) and
-//     ĉ_{k-[(i<k) ∨ (i=k ∧ j<=k)]}(k,k).
-//
-// The checkers power both the test suite and the `gep-bench table1`
-// experiment. States are numbered 0-based with -1 for the initial
-// value, matching package core.
 package trace
 
 import (
