@@ -152,12 +152,12 @@ func BenchmarkFWIGEP(b *testing.B) { benchFW(b, func(d *matrix.Dense[float64]) {
 func BenchmarkFacadeGeneric(b *testing.B) {
 	g := apsp.Random(128, 0.3, 1000, 5)
 	in := g.DistanceMatrix()
-	minPlus := func(i, j, k int, x, u, v, w float64) float64 {
+	minPlus := gep.UpdateFunc[float64](func(i, j, k int, x, u, v, w float64) float64 {
 		if s := u + v; s < x {
 			return s
 		}
 		return x
-	}
+	})
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		d := in.Clone()

@@ -35,7 +35,7 @@ func ExampleGeneral() {
 	// The paper's §2.2.1 counterexample: f sums its operands, Σ is the
 	// full set. Plain I-GEP diverges from the loop nest; C-GEP
 	// (General) never does.
-	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	sum := gep.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w })
 	c := gep.FromRows([][]int64{{0, 0}, {0, 1}})
 	gep.General[int64](c, sum, gep.Full)
 	fmt.Println(c.At(1, 0))
@@ -46,7 +46,7 @@ func ExampleIterative() {
 	// Count, per cell, how many updates the Gaussian set applies.
 	n := 4
 	c := gep.NewMatrix[int](n)
-	count := func(i, j, k int, x, u, v, w int) int { return x + 1 }
+	count := gep.UpdateFunc[int](func(i, j, k int, x, u, v, w int) int { return x + 1 })
 	gep.Iterative[int](c, count, gep.GaussianSet)
 	// Cell (3,3) is updated for k = 0, 1, 2.
 	fmt.Println(c.At(3, 3), c.At(0, 0))
@@ -79,7 +79,7 @@ func ExampleMatrixChain() {
 }
 
 func ExampleCheckLegality() {
-	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	sum := gep.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w })
 	report := gep.CheckLegality(sum, gep.Full, 8, 5, 1, nil)
 	fmt.Println(report.Legal)
 	// Output: false

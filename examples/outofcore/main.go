@@ -20,12 +20,10 @@ func main() {
 		pageSize  = 4096     // B
 		cacheSize = 16 << 10 // M: only 1/8 of the matrix fits in RAM
 	)
-	minPlus := func(i, j, k int, x, u, v, w float64) float64 {
-		if s := u + v; s < x {
-			return s
-		}
-		return x
-	}
+	// The fused min-plus op; on the out-of-core wrapper grids the
+	// engines call its Func per element (fused kernels need dense
+	// in-core storage), so the access pattern is unchanged.
+	minPlus := core.MinPlus[float64]{}
 
 	// Build the input once in core.
 	in := matrix.NewSquare[float64](n)

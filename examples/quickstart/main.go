@@ -20,12 +20,12 @@ func main() {
 		{5, inf, 0, 1},
 		{2, inf, inf, 0},
 	})
-	minPlus := func(i, j, k int, x, u, v, w int) int {
+	minPlus := gep.UpdateFunc[int](func(i, j, k int, x, u, v, w int) int {
 		if s := u + v; s < x {
 			return s
 		}
 		return x
-	}
+	})
 
 	ref := d.Clone()
 	gep.Iterative[int](ref, minPlus, gep.Full) // the classic O(n³) loop nest
@@ -46,13 +46,16 @@ func main() {
 
 	// --- 2. A custom instance where I-GEP is NOT exact. -------------
 	// The paper's 2×2 counterexample: f sums its inputs, Σ is full.
-	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	sum := gep.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w })
 	in := gep.FromRows([][]int64{{0, 0}, {0, 1}})
 
 	g := in.Clone()
 	gep.Iterative[int64](g, sum, gep.Full)
 	f := in.Clone()
-	gep.CacheOblivious[int64](f, sum, gep.Full)
+	// Base size 1 runs the pure recursion: with the default automatic
+	// base, tiny instances execute as one k-outer block, which
+	// coincides with the iterative order and hides the divergence.
+	gep.CacheOblivious[int64](f, sum, gep.Full, gep.WithBaseSize[int64](1))
 	h := in.Clone()
 	gep.General[int64](h, sum, gep.Full) // C-GEP: exact for EVERY f, Σ
 
@@ -67,7 +70,7 @@ func main() {
 	m := gep.NewMatrix[int64](n)
 	m.Apply(func(i, j int, _ int64) int64 { return int64(i + 2*j) })
 	set := gep.Predicate(func(i, j, k int) bool { return (i+j+k)%2 == 0 })
-	mix := func(i, j, k int, x, u, v, w int64) int64 { return x + u*v - w }
+	mix := gep.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 { return x + u*v - w })
 
 	want := m.Clone()
 	gep.Iterative[int64](want, mix, set)

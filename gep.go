@@ -40,7 +40,19 @@ import (
 // UpdateFunc is the GEP update f. It receives the indices ⟨i,j,k⟩ and
 // the values x = c[i,j], u = c[i,k], v = c[k,j], w = c[k,k], and
 // returns the new c[i,j]. It must be a pure function of its arguments.
+// A typed UpdateFunc value is itself an Op, so any custom update can be
+// passed straight to the engines.
 type UpdateFunc[T any] = core.UpdateFunc[T]
+
+// Op is an update operation the engines execute. Every UpdateFunc is
+// an Op; the predefined ops below additionally carry fused block
+// kernels that the flat-storage fast path dispatches to, eliminating
+// the per-element indirect call (outputs are bit-identical either
+// way). See MinPlusOp, MulAddOp, GaussElimOp, LUFactorOp, ClosureOp.
+type Op[T any] = core.Op[T]
+
+// Real enumerates the element types the predefined fused ops support.
+type Real = interface{ core.Real }
 
 // UpdateSet is the set Σ of updates to apply; see Full, GaussianSet,
 // LUSet, Predicate and Explicit.
@@ -97,9 +109,29 @@ func WithPrune[T any](on bool) Option[T] { return core.WithPrune[T](on) }
 // recursive calls down to the given grain.
 func WithParallel[T any](grain int) Option[T] { return core.WithParallel[T](grain) }
 
+// MinPlusOp returns the fused min-plus update
+// (Floyd-Warshall: x ← min(x, u+v)).
+func MinPlusOp[T Real]() Op[T] { return core.MinPlus[T]{} }
+
+// MulAddOp returns the fused multiply-accumulate update
+// (matrix multiplication: x ← x + u·v).
+func MulAddOp[T Real]() Op[T] { return core.MulAdd[T]{} }
+
+// GaussElimOp returns the fused Gaussian-elimination update
+// (x ← x − (u/w)·v), applied over GaussianSet.
+func GaussElimOp[T Real]() Op[T] { return core.GaussElim[T]{} }
+
+// LUFactorOp returns the fused LU update (multiplier on j == k,
+// elimination otherwise), applied over LUSet.
+func LUFactorOp[T Real]() Op[T] { return core.LUFactor[T]{} }
+
+// ClosureOp returns the fused boolean-semiring update
+// (transitive closure: x ← x ∨ (u ∧ v)).
+func ClosureOp() Op[bool] { return core.Closure{} }
+
 // Iterative runs the classic GEP loop nest (the paper's G).
-func Iterative[T any](c Grid[T], f UpdateFunc[T], set UpdateSet) {
-	core.RunGEP(c, f, set)
+func Iterative[T any](c Grid[T], op Op[T], set UpdateSet) {
+	core.RunGEP(c, op, set)
 }
 
 // CacheOblivious runs I-GEP (the paper's F): same updates as
@@ -107,36 +139,36 @@ func Iterative[T any](c Grid[T], f UpdateFunc[T], set UpdateSet) {
 // instances (Floyd-Warshall, Gaussian elimination, LU, matrix
 // multiplication and friends); for arbitrary f and Σ use General.
 // The side must be a power of two.
-func CacheOblivious[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
-	core.RunIGEP(c, f, set, opts...)
+func CacheOblivious[T any](c Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
+	core.RunIGEP(c, op, set, opts...)
 }
 
 // General runs C-GEP (the paper's H): cache-oblivious and guaranteed
 // to produce Iterative's output for every f and Σ, using 4n² extra
 // cells. The side must be a power of two.
-func General[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
-	core.RunCGEP(c, f, set, opts...)
+func General[T any](c Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
+	core.RunCGEP(c, op, set, opts...)
 }
 
 // GeneralCompact is General with the reduced-space (2n²) scheme; it
 // trades re-initialization passes for memory.
-func GeneralCompact[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
-	core.RunCGEPCompact(c, f, set, opts...)
+func GeneralCompact[T any](c Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
+	core.RunCGEPCompact(c, op, set, opts...)
 }
 
 // GeneralParallel runs C-GEP over the multithreaded Figure-6 schedule
 // (§3: the parallel time bound of I-GEP applies to C-GEP too); combine
 // with WithParallel to enable goroutines. The unconditional-exactness
 // guarantee of General is preserved.
-func GeneralParallel[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
-	core.RunCGEPParallel(c, f, set, opts...)
+func GeneralParallel[T any](c Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
+	core.RunCGEPParallel(c, op, set, opts...)
 }
 
 // Parallel runs the multithreaded I-GEP recursion (the paper's
 // A/B/C/D functions). Combine with WithParallel to enable goroutines;
 // without it the call is equivalent to CacheOblivious.
-func Parallel[T any](c Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
-	core.RunABCD(c, f, set, opts...)
+func Parallel[T any](c Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
+	core.RunABCD(c, op, set, opts...)
 }
 
 // Multiply computes c += a·b with the cache-oblivious recursion over

@@ -9,12 +9,11 @@ import (
 // instance of GEP with f = x ∨ (u ∧ v), another computation the
 // paradigm covers directly.
 
-// closureUpdate is Warshall's update over booleans.
-func closureUpdate(i, j, k int, x, u, v, w bool) bool { return x || (u && v) }
-
 // TransitiveClosure computes reachability in place: reach[i][j] must
 // initially hold edge presence (the diagonal is forced true). Any side
-// length is accepted; the computation is cache-oblivious.
+// length is accepted; the computation is cache-oblivious and runs the
+// fused core.Closure kernel (base cases skip whole rows whose c[i,k] is
+// false instead of calling the update per element).
 func TransitiveClosure(reach *matrix.Dense[bool]) {
 	n := reach.N()
 	if n == 0 {
@@ -24,14 +23,14 @@ func TransitiveClosure(reach *matrix.Dense[bool]) {
 		reach.Set(i, i, true)
 	}
 	if matrix.IsPow2(n) {
-		core.RunIGEP[bool](reach, closureUpdate, core.Full{}, core.WithBaseSize[bool](64))
+		core.RunIGEP[bool](reach, core.Closure{}, core.Full{})
 		return
 	}
 	p := matrix.PadPow2(reach, false)
 	for i := n; i < p.N(); i++ {
 		p.Set(i, i, true)
 	}
-	core.RunIGEP[bool](p, closureUpdate, core.Full{}, core.WithBaseSize[bool](64))
+	core.RunIGEP[bool](p, core.Closure{}, core.Full{})
 	reach.CopyFrom(p.Sub(0, 0, n, n))
 }
 

@@ -1,0 +1,16 @@
+package apsp
+
+import (
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+// FWFused runs Floyd-Warshall through the generic RunIGEP engine with
+// the fused min-plus op: the engine's recursion with a closed-form
+// block kernel instead of a per-element indirect call. The side must
+// be a power of two. Output is bit-identical to the generic engine
+// with the same op (min-plus is order-insensitive per cell anyway).
+func FWFused(d *matrix.Dense[float64], base int) {
+	core.RunIGEP[float64](d, core.MinPlus[float64]{}, core.Full{},
+		core.WithBaseSize[float64](base))
+}

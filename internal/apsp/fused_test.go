@@ -1,0 +1,22 @@
+package apsp
+
+import "testing"
+
+// TestFWFusedMatchesHandKernel: the engine-backed fused entry point
+// must agree exactly with the hand-specialized recursion (min-plus is
+// order-insensitive per cell, so all correct variants are bitwise
+// equal) and therefore with the Dijkstra oracle transitively.
+func TestFWFusedMatchesHandKernel(t *testing.T) {
+	for _, n := range []int{4, 16, 64} {
+		for _, base := range []int{1, 8, 64} {
+			g := Random(n, 0.25, 100, int64(7*n+base))
+			want := g.DistanceMatrix()
+			FWIGEP(want, 8)
+			got := g.DistanceMatrix()
+			FWFused(got, base)
+			if !exactEq(want, got) {
+				t.Fatalf("n=%d base=%d: fused FW differs from hand kernel", n, base)
+			}
+		}
+	}
+}

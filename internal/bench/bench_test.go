@@ -11,7 +11,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig7a", "fig7b", "fig8", "fig9",
-		"fig10", "fig11", "fig12",
+		"fig10", "fig11", "fig12", "incore",
 		"ablation-base", "ablation-layout", "ablation-prune", "ablation-grain",
 		"lemma31", "bounds",
 	}

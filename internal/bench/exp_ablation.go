@@ -132,12 +132,7 @@ func runAblationPrune(w io.Writer, scale Scale) error {
 		n = 512
 	}
 	in := diagDom(n, 15)
-	lu := func(i, j, k int, x, u, v, w float64) float64 {
-		if j == k {
-			return x / w
-		}
-		return x - u*v
-	}
+	lu := core.LUFactor[float64]{}
 	fmt.Fprintf(w, "Generic I-GEP on the LU set (touches ~1/3 of quadrant boxes) at n=%d:\n\n", n)
 	var t Table
 	t.Header("pruning", "time")

@@ -126,7 +126,7 @@ func runFig11(w io.Writer, scale Scale) error {
 	fmt.Fprintf(w, "\nSimulated cache misses at n=%d (8 KB L1 / 64 KB L2 scaled geometry):\n", missN)
 	var t2 Table
 	t2.Header("algo", "L1 misses", "L2 misses")
-	mulU := func(i, j, k int, x, u, v, _ float64) float64 { return x + u*v }
+	mulU := core.MulAdd[float64]{}
 	for _, v := range []struct {
 		name string
 		run  func(h *cachesim.Hierarchy, c, a, b matrix.Grid[float64])

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"gep/internal/apsp"
+	"gep/internal/core"
+	"gep/internal/linalg"
+	"gep/internal/matrix"
+)
+
+func init() {
+	Register(Experiment{
+		Name:  "incore",
+		Title: "In-core generic-engine kernels: Floyd-Warshall and matrix multiply vs hand-specialized code",
+		Run:   runIncore,
+	})
+}
+
+// mulUpdate is the fused multiply-accumulate op; RunDisjoint takes its
+// 4×4 register-tiled micro-kernel on fully covered blocks.
+var mulUpdate = core.MulAdd[float64]{}
+
+// runIncore measures the generic engines on the paper's two headline
+// in-core instances — Floyd-Warshall through RunIGEP and matrix
+// multiplication through RunDisjoint — against the hand-specialized
+// kernels in internal/apsp and internal/linalg. The engine rows are the
+// regression-gated ones: their identity (engine, n) is stable across
+// PRs, so `gep-bench compare` on two BENCH_incore.json files shows
+// exactly how much an engine change moved the hot path.
+func runIncore(w io.Writer, scale Scale) error {
+	sizes := []int{256, 512}
+	if scale == Full {
+		sizes = []int{512, 1024}
+	}
+	base := 64
+
+	fmt.Fprintf(w, "In-core engine kernels (base=%d):\n", base)
+	var t Table
+	t.Header("n", "igep-fw", "hand-fw", "igep-mm", "hand-mm", "fw engine/hand", "mm engine/hand")
+	for _, n := range sizes {
+		reps := 3
+		if n >= 1024 {
+			reps = 2
+		}
+		din := fwInput(n, int64(n))
+		a, b := randDense(n, int64(n)+1), randDense(n, int64(n)+2)
+		flops := 2 * float64(n) * float64(n) * float64(n)
+
+		dFW, metFW := TimeBestMetered(reps, func() {
+			m := din.Clone()
+			core.RunIGEP[float64](m, fwUpdate, core.Full{}, core.WithBaseSize[float64](base))
+		})
+		Record(Row{Engine: "igep-fw", N: n, Wall: dFW, Metrics: metFW})
+
+		dFWh, metFWh := TimeBestMetered(reps, func() {
+			m := din.Clone()
+			apsp.FWIGEP(m, base)
+		})
+		Record(Row{Engine: "hand-fw", N: n, Wall: dFWh, Metrics: metFWh})
+
+		dMM, metMM := TimeBestMetered(reps, func() {
+			c := matrix.NewSquare[float64](n)
+			core.RunDisjoint[float64](c, a, b, b, mulUpdate, core.Full{}, core.WithBaseSize[float64](base))
+		})
+		g := GFLOPS(flops, dMM)
+		Record(Row{Engine: "igep-mm", N: n, Wall: dMM, GFLOPS: g, Metrics: metMM})
+
+		dMMh, metMMh := TimeBestMetered(reps, func() {
+			c := matrix.NewSquare[float64](n)
+			linalg.MulIGEP(c, a, b, base)
+		})
+		gh := GFLOPS(flops, dMMh)
+		Record(Row{Engine: "hand-mm", N: n, Wall: dMMh, GFLOPS: gh, Metrics: metMMh})
+
+		t.Row(n, dFW, dFWh, dMM, dMMh,
+			float64(dFW)/float64(dFWh), float64(dMM)/float64(dMMh))
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nThe engine rows (igep-*) are the regression-gated hot paths; the")
+	fmt.Fprintln(w, "hand-* rows are the specialized comparators the fused kernels chase.")
+	return nil
+}

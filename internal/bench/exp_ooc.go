@@ -24,14 +24,12 @@ func init() {
 	})
 }
 
-// fwUpdate is min-plus over float64; integer edge weights keep it
-// exact.
-func fwUpdate(i, j, k int, x, u, v, w float64) float64 {
-	if d := u + v; d < x {
-		return d
-	}
-	return x
-}
+// fwUpdate is the fused min-plus op over float64 (integer edge weights
+// keep it exact), shared by every Floyd-Warshall experiment: dense
+// in-core runs take its fused kernel, wrapper grids (cache simulators,
+// out-of-core stores) call its Func per element — identical accesses,
+// identical results.
+var fwUpdate = core.MinPlus[float64]{}
 
 // oocAlgo names one algorithm, its natural disk layout and how to run
 // it on an out-of-core matrix.

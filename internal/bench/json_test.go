@@ -16,9 +16,17 @@ func fakeExperiment() Experiment {
 		Name:  "fake",
 		Title: "round-trip fixture",
 		Run: func(w io.Writer, scale Scale) error {
+			// The metrics keys are the kernel-dispatch counter inventory
+			// (DESIGN.md §9): one counter per rung of the kernel
+			// hierarchy, so a report records how every base-case block
+			// was dispatched.
 			Record(Row{Engine: "I-GEP", N: 256, Param: "base=64",
 				Wall: 123456789, GFLOPS: 1.5, PctPeak: 42.0,
-				Metrics: map[string]int64{"core.kernel.flat": 64}})
+				Metrics: map[string]int64{
+					"core.kernel.fused":   48,
+					"core.kernel.flat":    16,
+					"core.kernel.generic": 0,
+				}})
 			Record(Row{Engine: "GEP", N: 256, Wall: 987654321,
 				L1Misses: 1000, L2Misses: 100,
 				Extra: map[string]float64{"page_reads": 7}})
@@ -61,7 +69,11 @@ func TestReportRoundTrip(t *testing.T) {
 	want := []Row{
 		{Experiment: "fake", Engine: "I-GEP", N: 256, Param: "base=64",
 			Wall: 123456789, GFLOPS: 1.5, PctPeak: 42.0,
-			Metrics: map[string]int64{"core.kernel.flat": 64}},
+			Metrics: map[string]int64{
+				"core.kernel.fused":   48,
+				"core.kernel.flat":    16,
+				"core.kernel.generic": 0,
+			}},
 		{Experiment: "fake", Engine: "GEP", N: 256, Wall: 987654321,
 			L1Misses: 1000, L2Misses: 100,
 			Extra: map[string]float64{"page_reads": 7}},
@@ -96,6 +108,45 @@ func TestRealExperimentReport(t *testing.T) {
 	}
 	if r.Rows[0].Extra["peak_gflops"] <= 0 {
 		t.Fatalf("peak not recorded: %+v", r.Rows[0])
+	}
+}
+
+// TestIncoreReportRecordsDispatchSplit runs the regression-gated
+// incore experiment end to end and asserts its JSON report carries
+// the fused/flat/generic kernel-dispatch split: the engine rows
+// (igep-*) use built-in fused ops over dense matrices with an
+// interval set, so every base-case block must dispatch to a fused
+// kernel — none may fall back to the flat per-element path.
+func TestIncoreReportRecordsDispatchSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed matrix kernels")
+	}
+	dir := t.TempDir()
+	e, ok := Get("incore")
+	if !ok {
+		t.Fatal("incore not registered")
+	}
+	var buf bytes.Buffer
+	if err := RunExperiment(&buf, e, Small, RunOptions{JSONDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := LoadReport(ReportPath(dir, "incore"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Metrics["core.kernel.fused"] == 0 {
+		t.Fatalf("report-level metrics missing fused dispatches: %v", r.Metrics)
+	}
+	for _, row := range r.Rows {
+		if row.Engine != "igep-fw" && row.Engine != "igep-mm" {
+			continue
+		}
+		if row.Metrics["core.kernel.fused"] == 0 {
+			t.Errorf("%s n=%d: no fused dispatches: %v", row.Engine, row.N, row.Metrics)
+		}
+		if row.Metrics["core.kernel.flat"] != 0 || row.Metrics["core.kernel.generic"] != 0 {
+			t.Errorf("%s n=%d: engine row fell off the fused rung: %v", row.Engine, row.N, row.Metrics)
+		}
 	}
 }
 

@@ -199,12 +199,12 @@ func TestMortonTiledLayoutDistinctAndDense(t *testing.T) {
 // (O(n³/(B√M)) vs O(n³/B)).
 func TestIGEPBeatsGEPOnIdealCache(t *testing.T) {
 	const n = 64
-	fw := func(i, j, k int, x, u, v, w int64) int64 {
+	fw := core.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 {
 		if d := u + v; d < x {
 			return d
 		}
 		return x
-	}
+	})
 	run := func(algo func(g matrix.Grid[int64])) int64 {
 		h := IdealCache(4096, 64) // M = 4 KB, B = 64 B: 8 lines... 64 lines
 		m := matrix.NewSquare[int64](n)

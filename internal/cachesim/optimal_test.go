@@ -59,12 +59,12 @@ func TestIdealCacheLRUWithinConstantOfOPT(t *testing.T) {
 	m := matrix.NewSquare[int64](n)
 	m.Apply(func(i, j int, _ int64) int64 { return int64((i*7+j)%50 + 1) })
 	g := NewRecording[int64](m, rec, RowMajor, 0)
-	fw := func(i, j, k int, x, u, v, w int64) int64 {
+	fw := core.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 {
 		if s := u + v; s < x {
 			return s
 		}
 		return x
-	}
+	})
 	core.RunIGEP[int64](g, fw, core.Full{})
 
 	for _, cache := range []int64{1024, 4096} {
@@ -89,7 +89,7 @@ func TestTLBLayoutEffect(t *testing.T) {
 		m := matrix.NewSquare[int64](n)
 		h := NewHierarchy(tlb)
 		g := NewTraced[int64](m, h, layout, 0)
-		fw := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+		fw := core.UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w })
 		core.RunIGEP[int64](g, fw, core.Full{}, core.WithBaseSize[int64](32))
 		return tlb.Stats().Misses
 	}

@@ -33,7 +33,7 @@ import (
 // RunIGEP (both refine the same partial order), so the two always
 // produce identical results; RunABCD additionally exposes the
 // parallelism of Figure 6, enabled with WithParallel.
-func RunABCD[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+func RunABCD[T any](c matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
 	n := c.N()
 	checkPow2(n)
 	if n == 0 {
@@ -43,8 +43,8 @@ func RunABCD[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Op
 	if cfg.spawn == nil {
 		cfg.spawn = goSpawn
 	}
-	cfg.bindFast(c, set)
-	st := &abcdState[T]{c: c, f: f, set: set, cfg: &cfg}
+	cfg.bindFast(c, set, op)
+	st := &abcdState[T]{c: c, f: op.Func(), set: set, cfg: &cfg}
 	st.run(0, 0, 0, n)
 }
 
@@ -72,11 +72,7 @@ func (st *abcdState[T]) run(xi, xj, k0, s int) {
 		return
 	}
 	if s <= st.cfg.baseSize {
-		if st.cfg.flatData != nil {
-			igepKernelFlat(st.cfg.flatData, st.cfg.flatStride, st.cfg.ranger, st.f, st.set, xi, xj, k0, s)
-		} else {
-			igepKernel(st.c, st.f, st.set, xi, xj, k0, s)
-		}
+		baseCase(st.c, st.f, st.set, st.cfg, xi, xj, k0, s)
 		return
 	}
 	h := s / 2
@@ -158,7 +154,7 @@ func (st *abcdState[T]) run(xi, xj, k0, s int) {
 // RunDisjoint does not assume f is associative in its accumulation:
 // the two k-halves are sequenced, so each cell's updates still apply in
 // increasing k order.
-func RunDisjoint[T any](x, u, v, w matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+func RunDisjoint[T any](x, u, v, w matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
 	n := x.N()
 	checkPow2(n)
 	if u.N() != n || v.N() != n || w.N() != n {
@@ -172,9 +168,13 @@ func RunDisjoint[T any](x, u, v, w matrix.Grid[T], f UpdateFunc[T], set UpdateSe
 		cfg.spawn = goSpawn
 	}
 	cfg.ranger, _ = set.(Ranger)
-	st := &disjointState[T]{x: x, u: u, v: v, w: w, f: f, set: set, cfg: &cfg}
+	st := &disjointState[T]{x: x, u: u, v: v, w: w, f: op.Func(), set: set, cfg: &cfg}
 	st.fx, st.fu, st.fv, st.fw = flatOf(x), flatOf(u), flatOf(v), flatOf(w)
 	st.flat = st.fx.ok && st.fu.ok && st.fv.ok && st.fw.ok
+	if st.flat {
+		st.dop, _ = op.(DisjointKerneler[T])
+	}
+	cfg.resolveBaseSize(st.flat)
 	st.run(0, 0, 0, n)
 }
 
@@ -184,9 +184,11 @@ type disjointState[T any] struct {
 	set        UpdateSet
 	cfg        *config[T]
 
-	// Flat fast path, taken when all four grids are *matrix.Dense.
+	// Flat fast path, taken when all four grids are *matrix.Dense;
+	// dop is the op's fused disjoint kernel when it provides one.
 	fx, fu, fv, fw flatRect[T]
 	flat           bool
+	dop            DisjointKerneler[T]
 }
 
 func (st *disjointState[T]) par(s int, tasks ...func()) { parGroup(st.cfg, s, tasks...) }
@@ -197,6 +199,13 @@ func (st *disjointState[T]) run(xi, xj, k0, s int) {
 	}
 	if s <= st.cfg.baseSize {
 		if st.flat {
+			if st.dop != nil && st.dop.DisjointKernel(
+				st.fx.data, st.fx.stride, st.fu.data, st.fu.stride,
+				st.fv.data, st.fv.stride, st.fw.data, st.fw.stride,
+				st.cfg.ranger, xi, xj, k0, s) {
+				kernelFusedCount.Inc()
+				return
+			}
 			st.kernelFlat(xi, xj, k0, s)
 			return
 		}

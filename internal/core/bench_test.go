@@ -26,7 +26,9 @@ func benchFWMatrix() *matrix.Dense[float64] {
 	return m
 }
 
-func benchMinPlus(i, j, k int, x, u, v, w float64) float64 {
+// benchMinPlus is kept as a bare UpdateFunc (not a fused Op) so these
+// benchmarks keep measuring the flat-slice indirect-call path.
+var benchMinPlus UpdateFunc[float64] = func(i, j, k int, x, u, v, w float64) float64 {
 	if s := u + v; s < x {
 		return s
 	}

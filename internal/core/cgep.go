@@ -49,9 +49,17 @@ type cgepState[T any] struct {
 }
 
 // bindFlat resolves the flat views of c and the aux matrices plus the
-// set's TauSet/Ranger hooks. The fast kernel runs only when all five
-// stores are dense; a file-backed aux factory (WithAuxFactory) or a
-// wrapper grid falls back to the generic kernel.
+// set's TauSet/Ranger hooks, and the automatic base size. The fast
+// kernel runs only when all five stores are dense; a file-backed aux
+// factory (WithAuxFactory) or a wrapper grid falls back to the generic
+// kernel.
+//
+// The C-GEP engines accept fused ops but never run their block kernels:
+// H's base case must route the u/v/w reads through the saved-state aux
+// matrices and perform the τ-triggered saves, which a closed-form
+// direct-read kernel cannot do. They run the op's Func through the flat
+// or generic H kernels instead — the fused → flat → generic hierarchy
+// simply has its first rung empty here (see DESIGN.md §10).
 func (st *cgepState[T]) bindFlat() {
 	st.fc = flatOf(st.c)
 	st.fu0, st.fu1 = flatRectOf(st.u0), flatRectOf(st.u1)
@@ -59,6 +67,7 @@ func (st *cgepState[T]) bindFlat() {
 	st.flat = st.fc.ok && st.fu0.ok && st.fu1.ok && st.fv0.ok && st.fv1.ok
 	st.tauSet, _ = st.set.(TauSet)
 	st.cfg.ranger, _ = st.set.(Ranger)
+	st.cfg.resolveBaseSize(st.flat)
 }
 
 // tauOf is Tau(st.set, i, j, l) with the TauSet assertion hoisted.
@@ -78,7 +87,7 @@ func (st *cgepState[T]) tauOf(i, j, l int) int {
 // It is a provably correct cache-oblivious implementation of RunGEP
 // for every update function and update set: the two always produce
 // identical results. The side length must be a power of two.
-func RunCGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+func RunCGEP[T any](c matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
 	n := c.N()
 	checkPow2(n)
 	if n == 0 {
@@ -86,7 +95,7 @@ func RunCGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Op
 	}
 	cfg := buildConfig(opts)
 	st := &cgepState[T]{
-		c: c, f: f, set: set, cfg: &cfg,
+		c: c, f: op.Func(), set: set, cfg: &cfg,
 		u0: cfg.newAux(n, n), u1: cfg.newAux(n, n),
 		v0: cfg.newAux(n, n), v1: cfg.newAux(n, n),
 		uCols: n, vRows: n,
@@ -124,7 +133,7 @@ func RunCGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Op
 // τ_ij(j-1) < n/2 — equals c's state at the end of the first half
 // (there are no Σ_G updates for that cell between the two), which is
 // exactly what the re-initialization stores.
-func RunCGEPCompact[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+func RunCGEPCompact[T any](c matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
 	n := c.N()
 	checkPow2(n)
 	if n == 0 {
@@ -132,13 +141,13 @@ func RunCGEPCompact[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opt
 	}
 	if n == 1 {
 		// A single cell: H degenerates to G.
-		RunGEP(c, f, set)
+		RunGEP(c, op, set)
 		return
 	}
 	cfg := buildConfig(opts)
 	m := n / 2
 	st := &cgepState[T]{
-		c: c, f: f, set: set, cfg: &cfg,
+		c: c, f: op.Func(), set: set, cfg: &cfg,
 		u0: cfg.newAux(n, m), u1: cfg.newAux(n, m),
 		v0: cfg.newAux(m, n), v1: cfg.newAux(m, n),
 		uCols: m, vRows: m,

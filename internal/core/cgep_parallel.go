@@ -13,7 +13,7 @@ import "gep/internal/matrix"
 // RunCGEPParallel executes C-GEP (4n² scheme) with the multithreaded
 // recursion; combine with WithParallel to enable goroutines. Results
 // are always identical to RunGEP and RunCGEP.
-func RunCGEPParallel[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+func RunCGEPParallel[T any](c matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
 	n := c.N()
 	checkPow2(n)
 	if n == 0 {
@@ -24,7 +24,7 @@ func RunCGEPParallel[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, op
 		cfg.spawn = goSpawn
 	}
 	st := &cgepState[T]{
-		c: c, f: f, set: set, cfg: &cfg,
+		c: c, f: op.Func(), set: set, cfg: &cfg,
 		u0: cfg.newAux(n, n), u1: cfg.newAux(n, n),
 		v0: cfg.newAux(n, n), v1: cfg.newAux(n, n),
 		uCols: n, vRows: n,

@@ -125,7 +125,10 @@ func TestIGEPDivergesSomewhere(t *testing.T) {
 		set := randExplicit(rng, n, 0.8)
 		in := randMatrix(t, rng, n)
 		want := runOnClone(in, func(m *matrix.Dense[int64]) { RunGEP[int64](m, f, set) })
-		got := runOnClone(in, func(m *matrix.Dense[int64]) { RunIGEP[int64](m, f, set) })
+		// Base 1 is the pure recursion; the automatic flat-path base
+		// (64) would run these tiny instances as one k-outer block,
+		// which coincides with G and hides the divergence.
+		got := runOnClone(in, func(m *matrix.Dense[int64]) { RunIGEP[int64](m, f, set, WithBaseSize[int64](1)) })
 		if !matrix.Equal(want, got) {
 			diverged = true
 		}

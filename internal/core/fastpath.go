@@ -25,6 +25,24 @@ import "gep/internal/matrix"
 // are bit-identical (asserted by the differential tests in
 // fastpath_test.go).
 
+// baseCase dispatches one base-case block of the in-place engines in
+// the kernel-hierarchy order fused → flat → generic: the op's fused
+// closed-form kernel when one bound (and accepts the block), the
+// flat-slice kernel with the indirect per-element call when storage is
+// dense, and the Grid-interface kernel otherwise. All three produce
+// bit-identical results (see ops.go and the differential tests).
+func baseCase[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *config[T], i0, j0, k0, s int) {
+	if cfg.flatData != nil {
+		if cfg.blockOp != nil && cfg.blockOp.BlockKernel(cfg.flatData, cfg.flatStride, cfg.ranger, i0, j0, k0, s) {
+			kernelFusedCount.Inc()
+			return
+		}
+		igepKernelFlat(cfg.flatData, cfg.flatStride, cfg.ranger, f, set, i0, j0, k0, s)
+		return
+	}
+	igepKernel(c, f, set, i0, j0, k0, s)
+}
+
 // igepKernelFlat is igepKernel over flat row-major storage. rg may be
 // nil, in which case membership is tested per element via set.
 func igepKernelFlat[T any](data []T, stride int, rg Ranger, f UpdateFunc[T], set UpdateSet, i0, j0, k0, s int) {

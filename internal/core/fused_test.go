@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gep/internal/matrix"
+)
+
+// sameBits is the equality the differential tests assert: identical
+// bit patterns. Plain == would reject NaN == NaN, and the muladd/Full
+// instances overflow to NaN by design (the magnitude squares at every
+// k), which is exactly where order-of-operation bugs would hide.
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Differential tests for the fused block kernels (ops.go): every
+// engine must produce bit-identical output whether the op is passed as
+// the fused struct (block kernels engage on flat storage) or as its
+// bare Func (flat path with the per-element indirect call) or run over
+// an opaque wrapper grid (fully generic path). The fused kernels exist
+// purely for speed; any observable difference is a bug.
+
+// fusedCase pairs a fused op with the update sets it is used with and
+// an input generator whose matrices keep the arithmetic exact or
+// well-ordered (diagonally dominant for the division-based ops).
+type fusedFloatCase struct {
+	name string
+	op   Op[float64]
+	sets map[string]UpdateSet
+	gen  func(rng *rand.Rand, n int) *matrix.Dense[float64]
+}
+
+func fusedFloatCases() []fusedFloatCase {
+	uniform := func(rng *rand.Rand, n int) *matrix.Dense[float64] {
+		m := matrix.NewSquare[float64](n)
+		m.Apply(func(i, j int, _ float64) float64 { return rng.Float64()*2 - 1 })
+		return m
+	}
+	return []fusedFloatCase{
+		{
+			name: "minplus",
+			op:   MinPlus[float64]{},
+			sets: map[string]UpdateSet{"full": Full{}, "gaussian": Gaussian{}, "lu": LU{}},
+			gen:  floydWarshallInput,
+		},
+		{
+			name: "muladd",
+			op:   MulAdd[float64]{},
+			sets: map[string]UpdateSet{"full": Full{}, "gaussian": Gaussian{}, "lu": LU{}},
+			gen:  uniform,
+		},
+		{
+			name: "gauss",
+			op:   GaussElim[float64]{},
+			sets: map[string]UpdateSet{"gaussian": Gaussian{}},
+			gen:  diagDominant,
+		},
+		{
+			name: "lu",
+			op:   LUFactor[float64]{},
+			sets: map[string]UpdateSet{"lu": LU{}},
+			gen:  diagDominant,
+		},
+	}
+}
+
+// fusedEngines are the engines with a fused dispatch rung.
+func fusedEngines(base int) map[string]func(c matrix.Grid[float64], op Op[float64], set UpdateSet) {
+	return map[string]func(c matrix.Grid[float64], op Op[float64], set UpdateSet){
+		"gep": func(c matrix.Grid[float64], op Op[float64], set UpdateSet) {
+			RunGEP(c, op, set)
+		},
+		"igep": func(c matrix.Grid[float64], op Op[float64], set UpdateSet) {
+			RunIGEP(c, op, set, WithBaseSize[float64](base))
+		},
+		"abcd": func(c matrix.Grid[float64], op Op[float64], set UpdateSet) {
+			RunABCD(c, op, set, WithBaseSize[float64](base))
+		},
+		"abcd-par": func(c matrix.Grid[float64], op Op[float64], set UpdateSet) {
+			RunABCD(c, op, set, WithBaseSize[float64](base), WithParallel[float64](8))
+		},
+	}
+}
+
+// TestFusedKernelsBitIdentical is the headline differential: fused op
+// == bare Func == opaque generic grid, bit for bit, for every op, set,
+// engine, size and base size.
+func TestFusedKernelsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tc := range fusedFloatCases() {
+		f := tc.op.Func() // bare Func: flat path without fused kernels
+		for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+			in := tc.gen(rng, n)
+			for setName, set := range tc.sets {
+				for _, base := range []int{1, 2, 4, 8, 64} {
+					for engName, run := range fusedEngines(base) {
+						want := in.Clone()
+						run(want, f, set)
+						got := in.Clone()
+						before := kernelFusedCount.Value()
+						run(got, tc.op, set)
+						if !got.EqualFunc(want, sameBits) {
+							t.Fatalf("%s/%s/%s n=%d base=%d: fused differs from flat",
+								tc.name, engName, setName, n, base)
+						}
+						if n >= 4 && base >= 4 && kernelFusedCount.Value() == before {
+							t.Fatalf("%s/%s/%s n=%d base=%d: fused kernel never dispatched",
+								tc.name, engName, setName, n, base)
+						}
+						opaque := in.Clone()
+						run(opaqueGrid[float64]{opaque}, tc.op, set)
+						if !opaque.EqualFunc(want, sameBits) {
+							t.Fatalf("%s/%s/%s n=%d base=%d: generic grid differs",
+								tc.name, engName, setName, n, base)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusedDisjointBitIdentical covers the RunDisjoint rung: the 4×4
+// register-tiled multiply and the rank-1 min-plus kernel against the
+// bare-Func flat path and the naive loop.
+func TestFusedDisjointBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	ops := map[string]Op[float64]{
+		"muladd":  MulAdd[float64]{},
+		"minplus": MinPlus[float64]{},
+	}
+	for opName, op := range ops {
+		f := op.Func()
+		for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+			a, b := randFloatMatrix(rng, n), randFloatMatrix(rng, n)
+			for _, base := range []int{1, 2, 4, 8, 64} {
+				want := matrix.NewSquare[float64](n)
+				RunDisjoint[float64](want, a, b, b, f, Full{}, WithBaseSize[float64](base))
+				got := matrix.NewSquare[float64](n)
+				before := kernelFusedCount.Value()
+				RunDisjoint[float64](got, a, b, b, op, Full{}, WithBaseSize[float64](base))
+				if !got.EqualFunc(want, sameBits) {
+					t.Fatalf("%s n=%d base=%d: fused disjoint differs from flat", opName, n, base)
+				}
+				if n >= 4 && base >= 4 && kernelFusedCount.Value() == before {
+					t.Fatalf("%s n=%d base=%d: disjoint fused kernel never dispatched", opName, n, base)
+				}
+				// Gaussian restricts j per k; exercises the uncovered-
+				// block fallback inside the disjoint kernels.
+				wantG := matrix.NewSquare[float64](n)
+				RunDisjoint[float64](wantG, a, b, b, f, Gaussian{}, WithBaseSize[float64](base))
+				gotG := matrix.NewSquare[float64](n)
+				RunDisjoint[float64](gotG, a, b, b, op, Gaussian{}, WithBaseSize[float64](base))
+				if !gotG.EqualFunc(wantG, sameBits) {
+					t.Fatalf("%s n=%d base=%d: fused disjoint (gaussian) differs", opName, n, base)
+				}
+			}
+		}
+	}
+}
+
+// TestFusedClosureBitIdentical covers the boolean-semiring op.
+func TestFusedClosureBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{1, 2, 4, 8, 16, 32} {
+		in := matrix.NewSquare[bool](n)
+		in.Apply(func(i, j int, _ bool) bool { return i == j || rng.Float64() < 0.15 })
+		f := Closure{}.Func()
+		for _, base := range []int{1, 4, 64} {
+			want := in.Clone()
+			RunIGEP[bool](want, f, Full{}, WithBaseSize[bool](base))
+			got := in.Clone()
+			RunIGEP[bool](got, Closure{}, Full{}, WithBaseSize[bool](base))
+			if !got.EqualFunc(want, func(a, b bool) bool { return a == b }) {
+				t.Fatalf("n=%d base=%d: fused closure differs from flat", n, base)
+			}
+		}
+	}
+}
+
+// TestFusedIntOps: the fused kernels are generic over the element
+// type; int64 min-plus and multiply-accumulate are exact, so equality
+// is trivial to interpret.
+func TestFusedIntOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{4, 16, 64} {
+		in := floydWarshallInputInt(rng, n)
+		want := in.Clone()
+		RunIGEP[int64](want, MinPlus[int64]{}.Func(), Full{}, WithBaseSize[int64](8))
+		got := in.Clone()
+		RunIGEP[int64](got, MinPlus[int64]{}, Full{}, WithBaseSize[int64](8))
+		requireEqual(t, want, got, "fused int64 min-plus")
+
+		mm := randMatrix(t, rng, n)
+		wantM := mm.Clone()
+		RunGEP[int64](wantM, MulAdd[int64]{}.Func(), LU{})
+		gotM := mm.Clone()
+		RunGEP[int64](gotM, MulAdd[int64]{}, LU{})
+		requireEqual(t, wantM, gotM, "fused int64 mul-add")
+	}
+}
+
+// FuzzFusedVsGeneric drives the fused dispatch with fuzzer-chosen
+// size, base size, op and set, asserting bit-identity against the
+// bare-Func path on every instance.
+func FuzzFusedVsGeneric(fz *testing.F) {
+	fz.Add(uint8(2), uint8(1), uint8(0), uint8(0), int64(1))
+	fz.Add(uint8(3), uint8(6), uint8(1), uint8(1), int64(2))
+	fz.Add(uint8(5), uint8(2), uint8(2), uint8(1), int64(3))
+	fz.Add(uint8(6), uint8(0), uint8(3), uint8(2), int64(4))
+	fz.Fuzz(func(t *testing.T, sizeExp, baseExp, opSel, setSel uint8, seed int64) {
+		n := 1 << (int(sizeExp) % 7)    // 1..64
+		base := 1 << (int(baseExp) % 7) // 1..64
+		rng := rand.New(rand.NewSource(seed))
+		cases := fusedFloatCases()
+		tc := cases[int(opSel)%len(cases)]
+		setNames := make([]string, 0, len(tc.sets))
+		for name := range tc.sets {
+			setNames = append(setNames, name)
+		}
+		sort.Strings(setNames) // map order is random; select deterministically
+		set := tc.sets[setNames[int(setSel)%len(setNames)]]
+		in := tc.gen(rng, n)
+		want := in.Clone()
+		RunIGEP[float64](want, tc.op.Func(), set, WithBaseSize[float64](base))
+		got := in.Clone()
+		RunIGEP[float64](got, tc.op, set, WithBaseSize[float64](base))
+		if !got.EqualFunc(want, sameBits) {
+			t.Fatalf("op=%s n=%d base=%d: fused diverged from flat", tc.name, n, base)
+		}
+	})
+}

@@ -104,10 +104,10 @@ func FuzzIGEPTheorem21(fz *testing.F) {
 		// Theorem 2.1 in counting form: each Σ triple applied exactly
 		// once, nothing else.
 		seen := map[[3]int]int{}
-		counting := func(i, j, k int, x, u, v, w int64) int64 {
+		counting := UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 {
 			seen[[3]int{i, j, k}]++
 			return f(i, j, k, x, u, v, w)
-		}
+		})
 		c := in.Clone()
 		RunIGEP[int64](c, counting, set)
 		if len(seen) != set.Len() {

@@ -14,12 +14,21 @@ import (
 // It runs in O(n³) time and incurs O(n³/B) I/Os on a row-major matrix.
 // Any side length n >= 0 is accepted (the power-of-two restriction is
 // only needed by the recursive algorithms).
-func RunGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet) {
+//
+// op is the update op: a bare UpdateFunc for the generic per-element
+// path, or a fused op (MinPlus, MulAdd, ...) to run the whole matrix
+// through its closed-form kernel — same outputs either way.
+func RunGEP[T any](c matrix.Grid[T], op Op[T], set UpdateSet) {
 	n := c.N()
+	f := op.Func()
 	if data, stride, ok := matrix.Flat[T](c); ok {
 		// Flat fast path: G is exactly the base-case kernel applied to
 		// the whole matrix (see fastpath.go); outputs are identical.
 		rg, _ := set.(Ranger)
+		if bk, ok := op.(BlockKerneler[T]); ok && bk.BlockKernel(data, stride, rg, 0, 0, 0, n) {
+			kernelFusedCount.Inc()
+			return
+		}
 		igepKernelFlat(data, stride, rg, f, set, 0, 0, 0, n)
 		return
 	}

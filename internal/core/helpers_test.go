@@ -76,7 +76,7 @@ func requireEqual(t *testing.T, want, got *matrix.Dense[int64], label string) {
 }
 
 // fwMin is the Floyd-Warshall min-plus update over float64.
-func fwMin(i, j, k int, x, u, v, w float64) float64 {
+var fwMin UpdateFunc[float64] = func(i, j, k int, x, u, v, w float64) float64 {
 	if d := u + v; d < x {
 		return d
 	}

@@ -16,15 +16,20 @@ import "gep/internal/matrix"
 //
 // The side length must be a power of two (pad with matrix.PadPow2).
 // I/O complexity: O(n³/(B√M)) under the tall-cache assumption.
-func RunIGEP[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, opts ...Option[T]) {
+//
+// op is the update op: a bare UpdateFunc runs the flat or generic
+// per-element kernels; a fused op (MinPlus, MulAdd, GaussElim,
+// LUFactor, Closure) runs its closed-form base-case kernel, with
+// bit-identical outputs.
+func RunIGEP[T any](c matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]) {
 	n := c.N()
 	checkPow2(n)
 	if n == 0 {
 		return
 	}
 	cfg := buildConfig(opts)
-	cfg.bindFast(c, set)
-	igep(c, f, set, &cfg, 0, 0, 0, n)
+	cfg.bindFast(c, set, op)
+	igep(c, op.Func(), set, &cfg, 0, 0, 0, n)
 }
 
 // igep is F(X, k1, k2) with X = c[i0 : i0+s, j0 : j0+s] and the k-range
@@ -37,11 +42,7 @@ func igep[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *config[T
 		return
 	}
 	if s <= cfg.baseSize {
-		if cfg.flatData != nil {
-			igepKernelFlat(cfg.flatData, cfg.flatStride, cfg.ranger, f, set, i0, j0, k0, s)
-		} else {
-			igepKernel(c, f, set, i0, j0, k0, s)
-		}
+		baseCase(c, f, set, cfg, i0, j0, k0, s)
 		return
 	}
 	h := s / 2

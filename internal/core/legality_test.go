@@ -66,7 +66,7 @@ func TestLegalityAcceptsGaussian(t *testing.T) {
 
 func TestLegalityRejectsSum(t *testing.T) {
 	// The paper's counterexample class: summing f over the full set.
-	sum := func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w }
+	sum := UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 { return x + u + v + w })
 	r := CheckIGEPLegality(sum, Full{}, 8, 5, 4, nil)
 	if r.Legal {
 		t.Fatal("sum over Full not flagged illegal")
@@ -78,7 +78,8 @@ func TestLegalityRejectsSum(t *testing.T) {
 	want := r.Counterexample.Clone()
 	RunGEP[int64](want, sum, Full{})
 	got := r.Counterexample.Clone()
-	RunIGEP[int64](got, sum, Full{})
+	// Base 1 matches the legality checker's own replay (pure recursion).
+	RunIGEP[int64](got, sum, Full{}, WithBaseSize[int64](1))
 	i, j := r.Cell[0], r.Cell[1]
 	if want.At(i, j) == got.At(i, j) {
 		t.Fatal("recorded counterexample does not reproduce")

@@ -14,6 +14,7 @@ import "gep/internal/metrics"
 // the flat fast path of fastpath.go.
 var (
 	forkCount          = metrics.New("core.forks")
+	kernelFusedCount   = metrics.New("core.kernel.fused")
 	kernelFlatCount    = metrics.New("core.kernel.flat")
 	kernelGenericCount = metrics.New("core.kernel.generic")
 )

@@ -1,0 +1,598 @@
+package core
+
+// Fused update ops. The engines' hot loops pay one indirect UpdateFunc
+// call per element on top of the flat-slice addressing of fastpath.go —
+// the dominant remaining constant against hand-specialized kernels
+// (§4.2 of the paper reaches competitive constants only with tight
+// iterative kernels). An Op bundles the update function with optional
+// closed-form block kernels the engines can substitute for the whole
+// base case: the indirect call disappears, the update arithmetic sits
+// inline in the loop, and the compiler keeps the operands in registers.
+//
+// The dispatch contract, enforced by the differential tests in
+// ops_test.go: a fused kernel must apply the same updates, in the same
+// order, reading the same cell states, with the same floating-point
+// rounding sequence, as the generic kernel running the op's Func —
+// outputs are bit-identical, so callers can switch freely between the
+// generic oracle and the fused kernels. Kernels therefore use explicit
+// temporaries (t := u*v; x + t) everywhere: Go only fuses a multiply
+// and an add into one FMA (one rounding instead of two) when they form
+// a single expression, so the temporary pins the two-rounding semantics
+// of the generic Func on every architecture.
+//
+// A plain UpdateFunc is itself an Op (Func returns the function), so
+// every engine accepts either; unknown ops and wrapper grids simply run
+// the flat or generic path.
+
+// Op is an update function bundled with optional fused kernels. Engines
+// take an Op; pass an UpdateFunc directly for the generic treatment or
+// one of the built-in ops (MinPlus, MulAdd, GaussElim, LUFactor,
+// Closure) to let base cases run closed-form. Implementations may
+// additionally satisfy BlockKerneler and DisjointKerneler.
+type Op[T any] interface {
+	// Func returns the update f the generic and flat paths call per
+	// element; it is the semantic definition of the op.
+	Func() UpdateFunc[T]
+}
+
+// Func implements Op: a bare update function is an op with no fused
+// kernels.
+func (f UpdateFunc[T]) Func() UpdateFunc[T] { return f }
+
+// BlockKerneler is an Op with a closed-form kernel for the in-place
+// base case shared by RunGEP, RunIGEP, RunABCD and the C-GEP engines'
+// I-GEP-shaped recursion (X, U, V, W all inside the one matrix).
+type BlockKerneler[T any] interface {
+	Op[T]
+	// BlockKernel executes the base-case block [i0,i0+s)×[j0,j0+s) for
+	// the k-range [k0,k0+s) over the row-major backing slice, exactly as
+	// igepKernelFlat would with Func. It returns false to decline (for
+	// example when rg is nil and the kernel has no per-element membership
+	// path); the caller then falls back to the flat kernel.
+	BlockKernel(data []T, stride int, rg Ranger, i0, j0, k0, s int) bool
+}
+
+// DisjointKerneler is an Op with a closed-form kernel for RunDisjoint's
+// base case, where X is written and U, V, W are read-only and disjoint
+// from X (the all-D recursion of matrix multiplication).
+type DisjointKerneler[T any] interface {
+	Op[T]
+	// DisjointKernel executes X[i,j] ← f(X[i,j], U[i,k], V[k,j], W[k,k])
+	// over the block [xi,xi+s)×[xj,xj+s)×[k0,k0+s), with each grid given
+	// as its row-major backing slice and stride. Returns false to
+	// decline, as in BlockKernel.
+	DisjointKernel(x []T, xs int, u []T, us int, v []T, vs int, w []T, ws int, rg Ranger, xi, xj, k0, s int) bool
+}
+
+// Real is the constraint of the built-in numeric ops: any ordered
+// numeric type the update arithmetic (+, *, /, <) is defined on.
+type Real interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// MinPlus is the Floyd-Warshall op: f(x,u,v,w) = min(x, u+v). Its
+// fused kernels hoist u = c[i,k] out of the j loop and run it 4-way
+// unrolled; min is insensitive to the w argument, so no pivot handling
+// is needed beyond the register reload at j == k.
+type MinPlus[T Real] struct{}
+
+// Func implements Op.
+func (MinPlus[T]) Func() UpdateFunc[T] {
+	return func(_, _, _ int, x, u, v, _ T) T {
+		if d := u + v; d < x {
+			return d
+		}
+		return x
+	}
+}
+
+// BlockKernel implements BlockKerneler. The loop structure mirrors
+// igepKernelFlatRange exactly — clamp the Ranger interval, split at
+// j == k, reload u after the pivot-column update — so reads and writes
+// are element-for-element those of the generic path.
+func (MinPlus[T]) BlockKernel(data []T, stride int, rg Ranger, i0, j0, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	for k := k0; k < k0+s; k++ {
+		ck := data[k*stride:]
+		for i := i0; i < i0+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < j0 {
+				lo = j0
+			}
+			if hi > j0+s {
+				hi = j0 + s
+			}
+			if lo >= hi {
+				continue
+			}
+			ci := data[i*stride:]
+			u := ci[k]
+			j := lo
+			if k >= lo && k < hi {
+				for ; j < k; j++ {
+					if d := u + ck[j]; d < ci[j] {
+						ci[j] = d
+					}
+				}
+				// j == k: x = u and v = c[k,k]; the write may change u.
+				if d := u + ck[k]; d < u {
+					ci[k] = d
+					u = d
+				}
+				j = k + 1
+			}
+			for ; j+3 < hi; j += 4 {
+				if d := u + ck[j]; d < ci[j] {
+					ci[j] = d
+				}
+				if d := u + ck[j+1]; d < ci[j+1] {
+					ci[j+1] = d
+				}
+				if d := u + ck[j+2]; d < ci[j+2] {
+					ci[j+2] = d
+				}
+				if d := u + ck[j+3]; d < ci[j+3] {
+					ci[j+3] = d
+				}
+			}
+			for ; j < hi; j++ {
+				if d := u + ck[j]; d < ci[j] {
+					ci[j] = d
+				}
+			}
+		}
+	}
+	return true
+}
+
+// DisjointKernel implements DisjointKerneler: the disjoint-grid variant
+// needs no j == k split (only X is written), so u = U[i,k] is
+// loop-invariant across the whole row.
+func (MinPlus[T]) DisjointKernel(x []T, xs int, u []T, us int, v []T, vs int, _ []T, _ int, rg Ranger, xi, xj, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	for k := k0; k < k0+s; k++ {
+		vk := v[k*vs:]
+		for i := xi; i < xi+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < xj {
+				lo = xj
+			}
+			if hi > xj+s {
+				hi = xj + s
+			}
+			if lo >= hi {
+				continue
+			}
+			xr := x[i*xs:]
+			ui := u[i*us+k]
+			j := lo
+			for ; j+3 < hi; j += 4 {
+				if d := ui + vk[j]; d < xr[j] {
+					xr[j] = d
+				}
+				if d := ui + vk[j+1]; d < xr[j+1] {
+					xr[j+1] = d
+				}
+				if d := ui + vk[j+2]; d < xr[j+2] {
+					xr[j+2] = d
+				}
+				if d := ui + vk[j+3]; d < xr[j+3] {
+					xr[j+3] = d
+				}
+			}
+			for ; j < hi; j++ {
+				if d := ui + vk[j]; d < xr[j] {
+					xr[j] = d
+				}
+			}
+		}
+	}
+	return true
+}
+
+// MulAdd is the matrix-multiplication op: f(x,u,v,w) = x + u·v with
+// the product rounded before the add (two roundings — the generic
+// semantics; see the package comment on FMA). Its disjoint kernel is a
+// 4×4 register-tiled micro-kernel when the block is fully covered by
+// the update set, and a 4-way unrolled rank-1 loop otherwise.
+type MulAdd[T Real] struct{}
+
+// Func implements Op.
+func (MulAdd[T]) Func() UpdateFunc[T] {
+	return func(_, _, _ int, x, u, v, _ T) T {
+		t := u * v
+		return x + t
+	}
+}
+
+// BlockKernel implements BlockKerneler for the in-place engines
+// (multiplication normally runs through RunDisjoint, but the in-place
+// form c ← c + c·c is a valid GEP instance and keeps the op usable with
+// every engine).
+func (MulAdd[T]) BlockKernel(data []T, stride int, rg Ranger, i0, j0, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	for k := k0; k < k0+s; k++ {
+		ck := data[k*stride:]
+		for i := i0; i < i0+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < j0 {
+				lo = j0
+			}
+			if hi > j0+s {
+				hi = j0 + s
+			}
+			if lo >= hi {
+				continue
+			}
+			ci := data[i*stride:]
+			u := ci[k]
+			j := lo
+			if k >= lo && k < hi {
+				for ; j < k; j++ {
+					t := u * ck[j]
+					ci[j] += t
+				}
+				// j == k: x = u and v = c[k,k]; the write changes u.
+				t := u * ck[k]
+				ci[k] = u + t
+				u = ci[k]
+				j = k + 1
+			}
+			for ; j+3 < hi; j += 4 {
+				t0 := u * ck[j]
+				ci[j] += t0
+				t1 := u * ck[j+1]
+				ci[j+1] += t1
+				t2 := u * ck[j+2]
+				ci[j+2] += t2
+				t3 := u * ck[j+3]
+				ci[j+3] += t3
+			}
+			for ; j < hi; j++ {
+				t := u * ck[j]
+				ci[j] += t
+			}
+		}
+	}
+	return true
+}
+
+// DisjointKernel implements DisjointKerneler. When every ⟨i,j,k⟩ of the
+// block is a member and the side is a multiple of 4, it runs the 4×4
+// register-tiled micro-kernel: 16 accumulators live across the k loop,
+// so each X cell is loaded and stored once per block instead of once
+// per k. Per cell the accumulator applies the same ascending-k sequence
+// of (round(u·v), round(x+t)) steps as the generic path, so the tiling
+// does not change a single bit. Partially covered blocks take the
+// rank-1 fused loop, which handles the Ranger interval per (i,k).
+func (MulAdd[T]) DisjointKernel(x []T, xs int, u []T, us int, v []T, vs int, _ []T, _ int, rg Ranger, xi, xj, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	if s%4 == 0 && blockCovered(rg, xi, xj, k0, s) {
+		mulTile4x4(x, xs, u, us, v, vs, xi, xj, k0, s)
+		return true
+	}
+	for k := k0; k < k0+s; k++ {
+		vk := v[k*vs:]
+		for i := xi; i < xi+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < xj {
+				lo = xj
+			}
+			if hi > xj+s {
+				hi = xj + s
+			}
+			if lo >= hi {
+				continue
+			}
+			xr := x[i*xs:]
+			ui := u[i*us+k]
+			j := lo
+			for ; j+3 < hi; j += 4 {
+				t0 := ui * vk[j]
+				xr[j] += t0
+				t1 := ui * vk[j+1]
+				xr[j+1] += t1
+				t2 := ui * vk[j+2]
+				xr[j+2] += t2
+				t3 := ui * vk[j+3]
+				xr[j+3] += t3
+			}
+			for ; j < hi; j++ {
+				t := ui * vk[j]
+				xr[j] += t
+			}
+		}
+	}
+	return true
+}
+
+// blockCovered reports whether the update set contains every ⟨i,j,k⟩ of
+// the block — the precondition of the register-tiled micro-kernel. Full
+// answers in O(1); other Rangers are scanned per (i,k), an O(s²) test
+// against the block's O(s³) work.
+func blockCovered(rg Ranger, xi, xj, k0, s int) bool {
+	if _, ok := rg.(Full); ok {
+		return true
+	}
+	for k := k0; k < k0+s; k++ {
+		for i := xi; i < xi+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo > xj || hi < xj+s {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// mulTile4x4 is the register-tiled disjoint multiply micro-kernel:
+// X[4×4] += U[4×s]·V[s×4], accumulators in registers, k innermost.
+func mulTile4x4[T Real](x []T, xs int, u []T, us int, v []T, vs int, xi, xj, k0, s int) {
+	for i := xi; i < xi+s; i += 4 {
+		x0, x1, x2, x3 := x[i*xs:], x[(i+1)*xs:], x[(i+2)*xs:], x[(i+3)*xs:]
+		u0, u1, u2, u3 := u[i*us:], u[(i+1)*us:], u[(i+2)*us:], u[(i+3)*us:]
+		for j := xj; j < xj+s; j += 4 {
+			c00, c01, c02, c03 := x0[j], x0[j+1], x0[j+2], x0[j+3]
+			c10, c11, c12, c13 := x1[j], x1[j+1], x1[j+2], x1[j+3]
+			c20, c21, c22, c23 := x2[j], x2[j+1], x2[j+2], x2[j+3]
+			c30, c31, c32, c33 := x3[j], x3[j+1], x3[j+2], x3[j+3]
+			for k := k0; k < k0+s; k++ {
+				vk := v[k*vs:]
+				b0, b1, b2, b3 := vk[j], vk[j+1], vk[j+2], vk[j+3]
+				a := u0[k]
+				t0 := a * b0
+				c00 += t0
+				t1 := a * b1
+				c01 += t1
+				t2 := a * b2
+				c02 += t2
+				t3 := a * b3
+				c03 += t3
+				a = u1[k]
+				t0 = a * b0
+				c10 += t0
+				t1 = a * b1
+				c11 += t1
+				t2 = a * b2
+				c12 += t2
+				t3 = a * b3
+				c13 += t3
+				a = u2[k]
+				t0 = a * b0
+				c20 += t0
+				t1 = a * b1
+				c21 += t1
+				t2 = a * b2
+				c22 += t2
+				t3 = a * b3
+				c23 += t3
+				a = u3[k]
+				t0 = a * b0
+				c30 += t0
+				t1 = a * b1
+				c31 += t1
+				t2 = a * b2
+				c32 += t2
+				t3 = a * b3
+				c33 += t3
+			}
+			x0[j], x0[j+1], x0[j+2], x0[j+3] = c00, c01, c02, c03
+			x1[j], x1[j+1], x1[j+2], x1[j+3] = c10, c11, c12, c13
+			x2[j], x2[j+1], x2[j+2], x2[j+3] = c20, c21, c22, c23
+			x3[j], x3[j+1], x3[j+2], x3[j+3] = c30, c31, c32, c33
+		}
+	}
+}
+
+// GaussElim is the Gaussian-elimination op:
+// f(x,u,v,w) = x - (u/w)·v, two roundings after the division exactly as
+// in Func. The fused kernel hoists the multiplier m = u/w out of the j
+// loop — the same operands divided once instead of per element, so the
+// quotient is bit-identical.
+type GaussElim[T Real] struct{}
+
+// Func implements Op.
+func (GaussElim[T]) Func() UpdateFunc[T] {
+	return func(_, _, _ int, x, u, v, w T) T {
+		m := u / w
+		t := m * v
+		return x - t
+	}
+}
+
+// BlockKernel implements BlockKerneler. With the Gaussian set the
+// interval never contains j == k (members need k < j) and never has
+// i == k (members need k < i), but the split is kept so the kernel
+// stays exact for any Ranger it meets.
+func (GaussElim[T]) BlockKernel(data []T, stride int, rg Ranger, i0, j0, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	for k := k0; k < k0+s; k++ {
+		ck := data[k*stride:]
+		for i := i0; i < i0+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < j0 {
+				lo = j0
+			}
+			if hi > j0+s {
+				hi = j0 + s
+			}
+			if lo >= hi {
+				continue
+			}
+			ci := data[i*stride:]
+			u, w := ci[k], ck[k]
+			j := lo
+			if k >= lo && k < hi {
+				m := u / w
+				for ; j < k; j++ {
+					t := m * ck[j]
+					ci[j] -= t
+				}
+				// j == k: x = u, v = w; the write changes u (and w when
+				// i == k, as ci and ck are then the same row).
+				t := m * w
+				ci[k] = u - t
+				u, w = ci[k], ck[k]
+				j = k + 1
+			}
+			m := u / w
+			for ; j+3 < hi; j += 4 {
+				t0 := m * ck[j]
+				ci[j] -= t0
+				t1 := m * ck[j+1]
+				ci[j+1] -= t1
+				t2 := m * ck[j+2]
+				ci[j+2] -= t2
+				t3 := m * ck[j+3]
+				ci[j+3] -= t3
+			}
+			for ; j < hi; j++ {
+				t := m * ck[j]
+				ci[j] -= t
+			}
+		}
+	}
+	return true
+}
+
+// LUFactor is the LU-decomposition op for the LU set:
+//
+//	f(x,u,v,w) = x/w      if j == k  (stores the multiplier l_ik)
+//	             x - u·v  if j != k  (elimination with the multiplier)
+//
+// The fused kernel computes the multiplier at the interval's j == k
+// head and then runs the elimination with u = l_ik registered.
+type LUFactor[T Real] struct{}
+
+// Func implements Op.
+func (LUFactor[T]) Func() UpdateFunc[T] {
+	return func(_, j, k int, x, u, v, w T) T {
+		if j == k {
+			return x / w
+		}
+		t := u * v
+		return x - t
+	}
+}
+
+// BlockKernel implements BlockKerneler.
+func (LUFactor[T]) BlockKernel(data []T, stride int, rg Ranger, i0, j0, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	for k := k0; k < k0+s; k++ {
+		ck := data[k*stride:]
+		for i := i0; i < i0+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < j0 {
+				lo = j0
+			}
+			if hi > j0+s {
+				hi = j0 + s
+			}
+			if lo >= hi {
+				continue
+			}
+			ci := data[i*stride:]
+			u, w := ci[k], ck[k]
+			j := lo
+			if k >= lo && k < hi {
+				for ; j < k; j++ {
+					t := u * ck[j]
+					ci[j] -= t
+				}
+				// j == k: x = u, so the multiplier is u/w. The
+				// elimination phase below no longer needs w.
+				ci[k] = u / w
+				u = ci[k]
+				j = k + 1
+			}
+			for ; j+3 < hi; j += 4 {
+				t0 := u * ck[j]
+				ci[j] -= t0
+				t1 := u * ck[j+1]
+				ci[j+1] -= t1
+				t2 := u * ck[j+2]
+				ci[j+2] -= t2
+				t3 := u * ck[j+3]
+				ci[j+3] -= t3
+			}
+			for ; j < hi; j++ {
+				t := u * ck[j]
+				ci[j] -= t
+			}
+		}
+	}
+	return true
+}
+
+// Closure is the transitive-closure op over bool:
+// f(x,u,v,w) = x ∨ (u ∧ v) — Warshall's algorithm. The fused kernel
+// skips whole rows with u = c[i,k] false (every update then returns x
+// unchanged) and stores only rising edges; cell values are identical to
+// the generic path's.
+type Closure struct{}
+
+// Func implements Op.
+func (Closure) Func() UpdateFunc[bool] {
+	return func(_, _, _ int, x, u, v, _ bool) bool { return x || (u && v) }
+}
+
+// BlockKernel implements BlockKerneler. No j == k split is needed:
+// within a row, u = c[i,k] can only be rewritten at j == k with
+// x ∨ (u ∧ c[k,k]) = u, its own value.
+func (Closure) BlockKernel(data []bool, stride int, rg Ranger, i0, j0, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	for k := k0; k < k0+s; k++ {
+		ck := data[k*stride:]
+		for i := i0; i < i0+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < j0 {
+				lo = j0
+			}
+			if hi > j0+s {
+				hi = j0 + s
+			}
+			if lo >= hi {
+				continue
+			}
+			ci := data[i*stride:]
+			if !ci[k] {
+				continue
+			}
+			for j := lo; j < hi; j++ {
+				if ck[j] {
+					ci[j] = true
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Compile-time checks: the built-in ops provide the kernels the
+// dispatch layer looks for, and a bare UpdateFunc is an Op.
+var (
+	_ BlockKerneler[float64]    = MinPlus[float64]{}
+	_ DisjointKerneler[float64] = MinPlus[float64]{}
+	_ BlockKerneler[int64]      = MulAdd[int64]{}
+	_ DisjointKerneler[int64]   = MulAdd[int64]{}
+	_ BlockKerneler[float64]    = GaussElim[float64]{}
+	_ BlockKerneler[float64]    = LUFactor[float64]{}
+	_ BlockKerneler[bool]       = Closure{}
+	_ Op[int64]                 = UpdateFunc[int64](nil)
+)

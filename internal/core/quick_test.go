@@ -71,10 +71,10 @@ func TestQuickIGEPUpdateCount(t *testing.T) {
 	prop := func(seed int64, sizeExp, density uint8) bool {
 		inst := decodeInstance(seed, sizeExp, density, 0)
 		count := 0
-		counting := func(i, j, k int, x, u, v, w int64) int64 {
+		counting := UpdateFunc[int64](func(i, j, k int, x, u, v, w int64) int64 {
 			count++
 			return quickF(i, j, k, x, u, v, w)
-		}
+		})
 		c := inst.in.Clone()
 		RunIGEP[int64](c, counting, inst.set)
 		return count == inst.set.Len()

@@ -78,26 +78,55 @@ type config[T any] struct {
 
 	// flatData/flatStride are the row-major backing of the grid when it
 	// is a *matrix.Dense[T] (flatData == nil otherwise); ranger is the
-	// set's Ranger view when it has one. Both are bound by bindFast.
+	// set's Ranger view when it has one; blockOp is the op's fused
+	// in-place kernel when the op provides one and flat storage bound.
+	// All are bound by bindFast.
 	flatData   []T
 	flatStride int
 	ranger     Ranger
+	blockOp    BlockKerneler[T]
 }
 
 // bindFast resolves the fast-path hooks for one run: flat storage via
-// the matrix.Flat type assertion and the set's optional Ranger. Wrapper
-// grids (cache simulators, tracers, out-of-core stores) and unknown
-// sets simply leave the generic path in place.
-func (c *config[T]) bindFast(g matrix.Grid[T], set UpdateSet) {
+// the matrix.Flat type assertion, the set's optional Ranger, and the
+// op's optional fused block kernel (only meaningful over flat storage).
+// Wrapper grids (cache simulators, tracers, out-of-core stores),
+// unknown sets and bare UpdateFuncs simply leave the generic path in
+// place. It also resolves the automatic base size.
+func (c *config[T]) bindFast(g matrix.Grid[T], set UpdateSet, op Op[T]) {
 	if data, stride, ok := matrix.Flat[T](g); ok {
 		c.flatData, c.flatStride = data, stride
 	}
 	c.ranger, _ = set.(Ranger)
+	if c.flatData != nil {
+		c.blockOp, _ = op.(BlockKerneler[T])
+	}
+	c.resolveBaseSize(c.flatData != nil)
+}
+
+// autoBaseSize is the tuned default base-case side when flat storage
+// binds (the paper's §4.2 base-size finding: 64-128 depending on the
+// machine; 64 here).
+const autoBaseSize = 64
+
+// resolveBaseSize replaces the baseSize == 0 "auto" sentinel with the
+// tuned kernel size when the flat or fused path bound and with 1 (the
+// pure recursion of Figures 2 and 3) otherwise, so wrapper grids keep
+// their exact per-update semantics.
+func (c *config[T]) resolveBaseSize(flat bool) {
+	if c.baseSize != 0 {
+		return
+	}
+	if flat {
+		c.baseSize = autoBaseSize
+	} else {
+		c.baseSize = 1
+	}
 }
 
 func defaultConfig[T any]() config[T] {
 	return config[T]{
-		baseSize: 1,
+		baseSize: 0, // auto: resolveBaseSize picks 64 (flat) or 1
 		prune:    true,
 		parallel: false,
 		grain:    64,
@@ -112,8 +141,11 @@ type Option[T any] func(*config[T])
 
 // WithBaseSize sets the subproblem side at which the recursion switches
 // to an iterative kernel (the paper's empirically tuned "base-size",
-// §4.2: 128 on Xeon, 64 on Opteron). The default is 1, which is the
-// pure recursion of Figures 2 and 3.
+// §4.2: 128 on Xeon, 64 on Opteron). The default is automatic: 64 when
+// the engine binds the flat fast path (dense storage) and 1 — the pure
+// recursion of Figures 2 and 3 — for wrapper grids, whose cache-miss
+// and trace semantics depend on the exact recursive update order.
+// Passing an explicit value overrides the automatic choice either way.
 //
 // For I-GEP the kernel executes the block in G order, which is
 // equivalent for every (f, Σ_G) instance on which I-GEP is correct.

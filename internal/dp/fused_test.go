@@ -1,0 +1,34 @@
+package dp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChainSpecializationBitIdentical: the dims-specialized solver
+// (parenthesisChain, inlined w(i,k,j) = dims[i]·dims[k]·dims[j]) must
+// be bit-identical to the closure path — Go associates a*b*c left to
+// right, so the inlined product rounds exactly like the closure's.
+func TestChainSpecializationBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 40} {
+		dims := make([]int, n+1)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(50)
+		}
+		wd := chainWeights(dims)
+		w := CostFunc(func(i, k, j int) float64 { return wd[i] * wd[k] * wd[j] })
+		for _, block := range []int{1, 4, 32} {
+			want := ParenthesisCacheOblivious(n, w, make([]float64, n), block)
+			got := parenthesisChain(dims, block)
+			for i := 0; i <= n; i++ {
+				for j := i + 1; j <= n; j++ {
+					if want.At(i, j) != got.At(i, j) {
+						t.Fatalf("n=%d block=%d: chain c[%d][%d]=%g, closure=%g",
+							n, block, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}

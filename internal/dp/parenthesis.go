@@ -78,6 +78,12 @@ type parenSolver struct {
 	// grain > 0 enables goroutine execution of independent calls on
 	// subproblems larger than grain.
 	grain int
+	// dims, when non-nil, declares w to be the matrix-chain weight
+	// dims[i]·dims[k]·dims[j]; the hot loops then inline the product
+	// instead of making an indirect w call per candidate split. The
+	// inlined expression multiplies in the same order as the closure in
+	// MatrixChainCost, so results are bit-identical.
+	dims []float64
 }
 
 // parAt reports whether work of the given size should fork.
@@ -95,9 +101,18 @@ func (p *parenSolver) solve(l, r int) {
 			for i := l; i+span <= r; i++ {
 				j := i + span
 				best := p.c.At(i, j)
-				for k := i + 1; k < j; k++ {
-					if cand := p.c.At(i, k) + p.c.At(k, j) + p.w(i, k, j); cand < best {
-						best = cand
+				if wd := p.dims; wd != nil {
+					wj := wd[j]
+					for k := i + 1; k < j; k++ {
+						if cand := p.c.At(i, k) + p.c.At(k, j) + wd[i]*wd[k]*wj; cand < best {
+							best = cand
+						}
+					}
+				} else {
+					for k := i + 1; k < j; k++ {
+						if cand := p.c.At(i, k) + p.c.At(k, j) + p.w(i, k, j); cand < best {
+							best = cand
+						}
 					}
 				}
 				p.c.Set(i, j, best)
@@ -112,11 +127,23 @@ func (p *parenSolver) solve(l, r int) {
 		func() { p.solve(m, r) })
 	// Seed the rectangle X = [l,m) × (m,r] with the k = m split, the
 	// only contribution exterior to the whole rectangle.
-	for i := l; i < m; i++ {
-		for j := m + 1; j <= r; j++ {
-			cand := p.c.At(i, m) + p.c.At(m, j) + p.w(i, m, j)
-			if cand < p.c.At(i, j) {
-				p.c.Set(i, j, cand)
+	if wd := p.dims; wd != nil {
+		for i := l; i < m; i++ {
+			wim := wd[i] * wd[m]
+			for j := m + 1; j <= r; j++ {
+				cand := p.c.At(i, m) + p.c.At(m, j) + wim*wd[j]
+				if cand < p.c.At(i, j) {
+					p.c.Set(i, j, cand)
+				}
+			}
+		}
+	} else {
+		for i := l; i < m; i++ {
+			for j := m + 1; j <= r; j++ {
+				cand := p.c.At(i, m) + p.c.At(m, j) + p.w(i, m, j)
+				if cand < p.c.At(i, j) {
+					p.c.Set(i, j, cand)
+				}
 			}
 		}
 	}
@@ -168,6 +195,29 @@ func (p *parenSolver) combine(i1, i2, j1, j2 int) {
 func (p *parenSolver) apply(i1, i2, k1, k2, j1, j2 int) {
 	di, dk, dj := i2-i1+1, k2-k1+1, j2-j1+1
 	if di <= p.block && dk <= p.block && dj <= p.block {
+		if wd := p.dims; wd != nil {
+			// Closed-form weight: hoist wd[i]·wd[k] out of the j loop.
+			// wik*wd[j] associates exactly like the closure's
+			// wd[i]*wd[k]*wd[j], so candidates are bit-identical.
+			for k := k1; k <= k2; k++ {
+				ck := p.c.Row(k)
+				wk := wd[k]
+				for i := i1; i <= i2; i++ {
+					ci := p.c.Row(i)
+					cik := ci[k]
+					if cik == Inf {
+						continue
+					}
+					wik := wd[i] * wk
+					for j := j1; j <= j2; j++ {
+						if cand := cik + ck[j] + wik*wd[j]; cand < ci[j] {
+							ci[j] = cand
+						}
+					}
+				}
+			}
+			return
+		}
 		for k := k1; k <= k2; k++ {
 			ck := p.c.Row(k)
 			for i := i1; i <= i2; i++ {
@@ -208,6 +258,28 @@ func (p *parenSolver) apply(i1, i2, k1, k2, j1, j2 int) {
 // combineKernel is the iterative base case of combine: rows bottom-up,
 // columns left-to-right, folding the interior contributions.
 func (p *parenSolver) combineKernel(i1, i2, j1, j2 int) {
+	if wd := p.dims; wd != nil {
+		for i := i2; i >= i1; i-- {
+			ci := p.c.Row(i)
+			wi := wd[i]
+			for j := j1; j <= j2; j++ {
+				best := ci[j]
+				wj := wd[j]
+				for k := i + 1; k <= i2; k++ {
+					if cand := ci[k] + p.c.At(k, j) + wi*wd[k]*wj; cand < best {
+						best = cand
+					}
+				}
+				for k := j1; k < j; k++ {
+					if cand := ci[k] + p.c.At(k, j) + wi*wd[k]*wj; cand < best {
+						best = cand
+					}
+				}
+				ci[j] = best
+			}
+		}
+		return
+	}
 	for i := i2; i >= i1; i-- {
 		ci := p.c.Row(i)
 		for j := j1; j <= j2; j++ {
@@ -227,6 +299,26 @@ func (p *parenSolver) combineKernel(i1, i2, j1, j2 int) {
 	}
 }
 
+// chainWeights converts a dimension vector to float64 once so the
+// solver's specialized loops can index it directly.
+func chainWeights(dims []int) []float64 {
+	wd := make([]float64, len(dims))
+	for i, d := range dims {
+		wd[i] = float64(d)
+	}
+	return wd
+}
+
+// parenthesisChain solves the matrix-chain instance with the
+// closed-form-weight solver: no indirect w call in the hot loops.
+func parenthesisChain(dims []int, block int) *matrix.Dense[float64] {
+	n := len(dims) - 1
+	c := newParenTable(n, make([]float64, n))
+	p := &parenSolver{c: c, block: block, dims: chainWeights(dims)}
+	p.solve(0, n)
+	return c
+}
+
 // MatrixChainCost returns the minimal scalar-multiplication count for
 // multiplying matrices with the given dimensions (len(dims) = #matrices
 // + 1), computed cache-obliviously.
@@ -235,11 +327,7 @@ func MatrixChainCost(dims []int) float64 {
 	if n < 1 {
 		return 0
 	}
-	base := make([]float64, n)
-	c := ParenthesisCacheOblivious(n, func(i, k, j int) float64 {
-		return float64(dims[i]) * float64(dims[k]) * float64(dims[j])
-	}, base, 32)
-	return c.At(0, n)
+	return parenthesisChain(dims, 32).At(0, n)
 }
 
 // MatrixChainOrder additionally reconstructs an optimal
@@ -253,7 +341,7 @@ func MatrixChainOrder(dims []int) (float64, string) {
 	w := func(i, k, j int) float64 {
 		return float64(dims[i]) * float64(dims[k]) * float64(dims[j])
 	}
-	c := ParenthesisCacheOblivious(n, w, make([]float64, n), 32)
+	c := parenthesisChain(dims, 32)
 	var render func(i, j int) string
 	render = func(i, j int) string {
 		if j == i+1 {

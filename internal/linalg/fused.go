@@ -1,0 +1,38 @@
+package linalg
+
+// Engine-backed entry points: the same computations as the
+// hand-specialized kernels in this package, expressed through the
+// generic core engines with the fused update ops. They exist so the
+// benchmarks (and downstream users who want the engines' generality —
+// wrapper grids, traces, out-of-core stores) get the closed-form block
+// kernels without writing per-application recursions.
+
+import (
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+// MulFused computes c += a·b through RunDisjoint with the fused
+// multiply-accumulate op (4×4 register-tiled micro-kernel on fully
+// covered blocks). Sides must be equal powers of two. The result is
+// bit-identical to the generic engine with the same op.
+func MulFused(c, a, b *matrix.Dense[float64], base int) {
+	checkMulDims(c, a, b)
+	core.RunDisjoint[float64](c, a, b, b, core.MulAdd[float64]{}, core.Full{},
+		core.WithBaseSize[float64](base))
+}
+
+// LUFused performs in-place LU decomposition (multipliers below the
+// diagonal) through RunIGEP with the fused LU op over the LU set.
+func LUFused(c *matrix.Dense[float64], base int) {
+	core.RunIGEP[float64](c, core.LUFactor[float64]{}, core.LU{},
+		core.WithBaseSize[float64](base))
+}
+
+// GaussFused performs in-place Gaussian elimination (no multipliers
+// stored) through RunIGEP with the fused elimination op over the
+// Gaussian set.
+func GaussFused(c *matrix.Dense[float64], base int) {
+	core.RunIGEP[float64](c, core.GaussElim[float64]{}, core.Gaussian{},
+		core.WithBaseSize[float64](base))
+}

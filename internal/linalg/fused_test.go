@@ -1,0 +1,67 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+
+	"gep/internal/core"
+	"gep/internal/matrix"
+)
+
+// Differential tests for the engine-backed fused entry points
+// (fused.go) against this package's hand kernels and the iterative
+// GEP reference semantics.
+
+func TestMulFusedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, n := range []int{1, 2, 4, 8, 16, 32, 64} {
+		a, b := randDense(rng, n), randDense(rng, n)
+		want := matrix.NewSquare[float64](n)
+		MulNaive(want, a, b)
+		for _, base := range []int{1, 4, 64} {
+			got := matrix.NewSquare[float64](n)
+			MulFused(got, a, b, base)
+			approxEqual(t, want, got, n, "MulFused")
+		}
+	}
+}
+
+// TestLUFusedBitwiseMatchesGEP: the engine's LU op keeps the division
+// in the j == k update exactly as written GEP performs it, so the
+// fused path is bitwise equal to LUGEP (not LUGEPOpt, which hoists a
+// reciprocal and rounds differently).
+func TestLUFusedBitwiseMatchesGEP(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for _, n := range []int{4, 16, 64} {
+		a := diagDominant(rng, n)
+		want := a.Clone()
+		LUGEP(want)
+		for _, base := range []int{1, 8, 64} {
+			got := a.Clone()
+			LUFused(got, base)
+			if !want.EqualFunc(got, func(x, y float64) bool { return x == y }) {
+				t.Fatalf("n=%d base=%d: LUFused not bitwise equal to LUGEP", n, base)
+			}
+		}
+	}
+}
+
+// TestGaussFusedMatchesIterative: the Gaussian set has no hand kernel
+// here (no multipliers are stored), so the oracle is the iterative
+// GEP loop nest with the same op — the reference semantics every
+// engine must preserve.
+func TestGaussFusedMatchesIterative(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, n := range []int{4, 16, 64} {
+		a := diagDominant(rng, n)
+		want := a.Clone()
+		core.RunGEP[float64](want, core.GaussElim[float64]{}.Func(), core.Gaussian{})
+		for _, base := range []int{1, 8, 64} {
+			got := a.Clone()
+			GaussFused(got, base)
+			if !want.EqualFunc(got, func(x, y float64) bool { return x == y }) {
+				t.Fatalf("n=%d base=%d: GaussFused differs from iterative GEP", n, base)
+			}
+		}
+	}
+}

@@ -133,12 +133,12 @@ func TestFloydWarshallOutOfCore(t *testing.T) {
 		}
 		return float64(rng.Intn(1000) + 1)
 	})
-	fw := func(i, j, k int, x, u, v, w float64) float64 {
+	fw := core.UpdateFunc[float64](func(i, j, k int, x, u, v, w float64) float64 {
 		if d := u + v; d < x {
 			return d
 		}
 		return x
-	}
+	})
 
 	want := src.Clone()
 	core.RunGEP[float64](want, fw, core.Full{})
@@ -178,7 +178,7 @@ func TestCGEPOutOfCoreWithFileBackedAux(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	src := matrix.NewSquare[float64](n)
 	src.Apply(func(i, j int, _ float64) float64 { return float64(rng.Intn(100)) })
-	f := func(i, j, k int, x, u, v, w float64) float64 { return x + 2*u - v + 3*w }
+	f := core.UpdateFunc[float64](func(i, j, k int, x, u, v, w float64) float64 { return x + 2*u - v + 3*w })
 
 	want := src.Clone()
 	core.RunGEP[float64](want, f, core.Full{})

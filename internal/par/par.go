@@ -2,14 +2,71 @@ package par
 
 import (
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"gep/internal/metrics"
 )
 
-// sem holds one token per worker slot. The budget is fixed at package
-// init from GOMAXPROCS; a token is held for the lifetime of the
-// spawned goroutine.
-var sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+// The worker budget follows runtime.GOMAXPROCS instead of being frozen
+// at package init: every Spawn re-checks the current GOMAXPROCS and
+// swaps in a fresh semaphore when it changed (e.g. a test or caller
+// resized the runtime after this package was linked in). SetWorkers
+// pins an explicit budget, after which GOMAXPROCS changes are ignored.
+//
+// A spawned goroutine releases its token into the exact channel it
+// acquired from, so resizing never corrupts accounting: tokens of a
+// retired semaphore drain into the retired channel and are simply
+// garbage-collected with it.
+var pool struct {
+	mu  sync.Mutex
+	sem atomic.Pointer[chan struct{}]
+	// procs is the GOMAXPROCS value sem was sized from, or 0 when the
+	// size was pinned by SetWorkers.
+	procs  atomic.Int64
+	pinned atomic.Bool
+}
+
+func init() {
+	resize(runtime.GOMAXPROCS(0), false)
+}
+
+// resize installs a fresh semaphore with n slots. Callers hold no lock;
+// racing resizes are serialized by pool.mu.
+func resize(n int, pin bool) {
+	if n < 1 {
+		n = 1
+	}
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	sem := make(chan struct{}, n)
+	pool.sem.Store(&sem)
+	pool.pinned.Store(pin)
+	if pin {
+		pool.procs.Store(0)
+	} else {
+		pool.procs.Store(int64(n))
+	}
+}
+
+// SetWorkers fixes the worker budget to n (clamped to >= 1) and stops
+// tracking GOMAXPROCS. Goroutines already running keep their slots in
+// the previous pool; new spawns see only the new budget.
+func SetWorkers(n int) { resize(n, true) }
+
+// Workers returns the current worker budget.
+func Workers() int { return cap(*acquireSem()) }
+
+// acquireSem returns the current semaphore, first re-sizing the pool if
+// GOMAXPROCS moved since the semaphore was created (unless pinned).
+func acquireSem() *chan struct{} {
+	if !pool.pinned.Load() {
+		if p := int64(runtime.GOMAXPROCS(0)); p != pool.procs.Load() {
+			resize(int(p), false)
+		}
+	}
+	return pool.sem.Load()
+}
 
 // Telemetry: how often tasks actually reached a pool worker vs ran
 // inline on their caller. The ratio is the live saturation signal —
@@ -25,12 +82,15 @@ var (
 // has completed (it returns immediately after an inline run). The
 // signature matches core.WithSpawn.
 func Spawn(task func()) (wait func()) {
+	sem := *acquireSem()
 	select {
 	case sem <- struct{}{}:
 		pooledCount.Inc()
 		done := make(chan struct{})
 		go func() {
 			defer func() {
+				// Release into the channel the token came from, even if
+				// the pool has been resized since.
 				<-sem
 				close(done)
 			}()

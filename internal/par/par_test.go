@@ -74,3 +74,70 @@ func TestSpawnBounded(t *testing.T) {
 		t.Fatalf("peak concurrency %d exceeds pool budget %d(+1 inline)", p, budget)
 	}
 }
+
+// TestSetWorkersResizes pins an explicit budget and checks Workers
+// reflects it, then restores GOMAXPROCS tracking for other tests.
+func TestSetWorkersResizes(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer resize(orig, false) // back to tracking mode
+
+	SetWorkers(3)
+	if got := Workers(); got != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
+	}
+	// Pinned budgets ignore GOMAXPROCS moves.
+	runtime.GOMAXPROCS(orig + 1)
+	defer runtime.GOMAXPROCS(orig)
+	if got := Workers(); got != 3 {
+		t.Fatalf("pinned Workers() = %d after GOMAXPROCS change, want 3", got)
+	}
+	// The pool still works at the new size.
+	var n atomic.Int64
+	Do(func() { n.Add(1) }, func() { n.Add(1) }, func() { n.Add(1) })
+	if n.Load() != 3 {
+		t.Fatal("Do lost tasks after SetWorkers")
+	}
+	if Workers() < 1 {
+		t.Fatal("worker budget below 1")
+	}
+	SetWorkers(0) // clamps to 1
+	if got := Workers(); got != 1 {
+		t.Fatalf("SetWorkers(0) gave %d workers, want 1", got)
+	}
+}
+
+// TestWorkersTracksGOMAXPROCS: without a pinned budget, the pool
+// follows runtime.GOMAXPROCS instead of the value frozen at package
+// init.
+func TestWorkersTracksGOMAXPROCS(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer func() {
+		runtime.GOMAXPROCS(orig)
+		resize(orig, false)
+	}()
+	resize(orig, false) // ensure tracking mode
+
+	if got := Workers(); got != orig {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, orig)
+	}
+	next := orig + 2
+	runtime.GOMAXPROCS(next)
+	if got := Workers(); got != next {
+		t.Fatalf("Workers() = %d after GOMAXPROCS(%d)", got, next)
+	}
+	// Tasks spawned across a resize still complete and release cleanly.
+	var n atomic.Int64
+	var waits []func()
+	for i := 0; i < 8; i++ {
+		waits = append(waits, Spawn(func() { n.Add(1) }))
+		if i == 3 {
+			runtime.GOMAXPROCS(orig)
+		}
+	}
+	for _, w := range waits {
+		w()
+	}
+	if n.Load() != 8 {
+		t.Fatalf("completed %d of 8 tasks across a resize", n.Load())
+	}
+}

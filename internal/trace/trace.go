@@ -202,7 +202,10 @@ func CheckTableOneG(updates []Update, init *matrix.Dense[int64]) error {
 func VerifyIGEP(init *matrix.Dense[int64], f core.UpdateFunc[int64], set core.UpdateSet) (int, error) {
 	var rec Recorder
 	c := init.Clone()
-	core.RunIGEP[int64](c, rec.Wrap(f), set)
+	// Base 1: Theorem 2.2 characterizes the pure F recursion. Larger
+	// base blocks execute in k-outer (G) order, whose reads differ on
+	// instances outside the theorem's legal class.
+	core.RunIGEP[int64](c, rec.Wrap(f), set, core.WithBaseSize[int64](1))
 	ups := rec.Updates()
 	if err := CheckTheorem21(ups, set, init.N()); err != nil {
 		return len(ups), err

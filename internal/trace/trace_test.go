@@ -191,7 +191,8 @@ func TestTheorem22HoldsForABCD(t *testing.T) {
 		in := randMat(rng, n)
 		var rec Recorder
 		c := in.Clone()
-		core.RunABCD[int64](c, rec.Wrap(linF), set)
+		// Base 1: Theorem 2.2 describes the pure recursion's reads.
+		core.RunABCD[int64](c, rec.Wrap(linF), set, core.WithBaseSize[int64](1))
 		ups := rec.Updates()
 		if err := CheckTheorem21(ups, set, n); err != nil {
 			t.Fatalf("n=%d: %v", n, err)
