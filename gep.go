@@ -201,7 +201,7 @@ func FloydWarshall(d *Matrix[float64]) {
 }
 
 // FloydWarshallParallel is FloydWarshall on goroutines (multithreaded
-// I-GEP with the Figure-6 schedule, run on the bounded worker pool).
+// I-GEP with the Figure-6 schedule, on the work-stealing runtime).
 // Any side length is accepted; non-power-of-two inputs are padded the
 // same way FloydWarshall pads them.
 func FloydWarshallParallel(d *Matrix[float64]) {

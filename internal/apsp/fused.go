@@ -14,3 +14,12 @@ func FWFused(d *matrix.Dense[float64], base int) {
 	core.RunIGEP[float64](d, core.MinPlus[float64]{}, core.Full{},
 		core.WithBaseSize[float64](base))
 }
+
+// FWFusedParallel is FWFused through the multithreaded A/B/C/D
+// recursion (Figure 6) on the work-stealing runtime (internal/par).
+// RunABCD refines the same partial order as RunIGEP, so the output is
+// bit-identical to FWFused at every worker count.
+func FWFusedParallel(d *matrix.Dense[float64], base, grain int) {
+	core.RunABCD[float64](d, core.MinPlus[float64]{}, core.Full{},
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
+}

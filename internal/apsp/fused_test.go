@@ -1,6 +1,10 @@
 package apsp
 
-import "testing"
+import (
+	"testing"
+
+	"gep/internal/par"
+)
 
 // TestFWFusedMatchesHandKernel: the engine-backed fused entry point
 // must agree exactly with the hand-specialized recursion (min-plus is
@@ -17,6 +21,25 @@ func TestFWFusedMatchesHandKernel(t *testing.T) {
 			if !exactEq(want, got) {
 				t.Fatalf("n=%d base=%d: fused FW differs from hand kernel", n, base)
 			}
+		}
+	}
+}
+
+// TestFWFusedParallelMatchesSerial: the parallel entry point runs the
+// same updates through the work-stealing runtime, so at every worker
+// count the result must be bitwise equal to the serial fused path.
+func TestFWFusedParallelMatchesSerial(t *testing.T) {
+	defer par.ResetWorkers()
+	const n, base, grain = 64, 8, 16
+	g := Random(n, 0.25, 100, 99)
+	want := g.DistanceMatrix()
+	FWFused(want, base)
+	for _, p := range []int{1, 2, 4} {
+		par.SetWorkers(p)
+		got := g.DistanceMatrix()
+		FWFusedParallel(got, base, grain)
+		if !exactEq(want, got) {
+			t.Fatalf("p=%d: FWFusedParallel differs from FWFused", p)
 		}
 	}
 }

@@ -6,12 +6,14 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"gep/internal/sched"
 )
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig7a", "fig7b", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "incore",
+		"fig10", "fig11", "fig12", "incore", "scaling",
 		"ablation-base", "ablation-layout", "ablation-prune", "ablation-grain",
 		"lemma31", "bounds",
 	}
@@ -153,5 +155,21 @@ func TestWriteCSVAndSink(t *testing.T) {
 	}
 	if string(data) != "a,b\n1,\"x,y\"\n" {
 		t.Fatalf("mirrored csv = %q", data)
+	}
+}
+
+// TestScalingOrdering checks the Figure-12 claim behind exp_scaling's
+// extra["speedup"] without timing anything: at the experiment's
+// (n, grain) the simulated p=8 speedup must order MM strictly above
+// both GE and FW (the all-D recursion's O(n) span vs O(n log^2 n)).
+func TestScalingOrdering(t *testing.T) {
+	const n, grain, p = 1024, 64, 8
+	speedup := func(w sched.Workload) float64 {
+		plan := sched.BuildPlan(w, n, grain)
+		return float64(sched.TotalWork(plan)) / float64(sched.Schedule(sched.Flatten(plan), p))
+	}
+	mm, ge, fw := speedup(sched.MM), speedup(sched.GE), speedup(sched.FW)
+	if mm <= ge || mm <= fw {
+		t.Fatalf("p=8 sim speedups: MM=%.3f GE=%.3f FW=%.3f; want MM strictly greatest", mm, ge, fw)
 	}
 }

@@ -42,6 +42,10 @@ type Row struct {
 	// (e.g. "base=64", "p=8", "M=8192"); it is part of the row identity
 	// for compare.
 	Param string `json:"param,omitempty"`
+	// Workers is the par-runtime worker count the row was measured at,
+	// when the experiment sweeps it (see exp_scaling.go). Informational:
+	// row identity already encodes it via Param.
+	Workers int `json:"workers,omitempty"`
 	// Wall is the measured wall-clock time in nanoseconds.
 	Wall time.Duration `json:"wall_ns,omitempty"`
 	// GFLOPS is the achieved floating-point rate, when meaningful.

@@ -48,11 +48,12 @@ func RunABCD[T any](c matrix.Grid[T], op Op[T], set UpdateSet, opts ...Option[T]
 	st.run(0, 0, 0, n)
 }
 
-// goSpawn is the default task spawner: the bounded GOMAXPROCS-sized
-// worker pool of internal/par. A task that finds no free worker slot
-// runs inline on the caller (the unstolen-child execution of a
-// work-stealing scheduler), so parallel runs never oversubscribe the
-// Go scheduler no matter how many tasks the recursion exposes.
+// goSpawn is the default task spawner: the work-stealing fork-join
+// runtime of internal/par. A fork goes to the caller's worker deque
+// (LIFO self-execution, FIFO stealing); forks at or past the runtime's
+// depth cutoff run inline on the caller by policy, so parallel runs
+// never oversubscribe the Go scheduler no matter how many tasks the
+// recursion exposes.
 func goSpawn(task func()) (wait func()) { return par.Spawn(task) }
 
 type abcdState[T any] struct {

@@ -157,8 +157,9 @@ func BenchmarkABCDFastVsGeneric(b *testing.B) {
 	})
 }
 
-// BenchmarkABCDParallelPool measures the bounded-pool parallel engine
-// (fast path) against its serial run, the WithParallel scaling check.
+// BenchmarkABCDParallelPool measures the runtime-backed parallel
+// engine (fast path) against its serial run, the WithParallel scaling
+// check.
 func BenchmarkABCDParallelPool(b *testing.B) {
 	for _, n := range []int{256, 512} {
 		in := benchFWMatrixN(n)

@@ -195,9 +195,10 @@ func TestFastPathStridedView(t *testing.T) {
 	}
 }
 
-// TestParallelEnginesBoundedPool exercises the bounded-pool parallel
-// engines with aggressive grains (many more tasks than workers) and
-// checks results against the serial reference; run under -race in CI.
+// TestParallelEnginesBoundedPool exercises the runtime-backed
+// parallel engines with aggressive grains (many more tasks than
+// workers) and checks results against the serial reference; run under
+// -race in CI.
 func TestParallelEnginesBoundedPool(t *testing.T) {
 	rng := rand.New(rand.NewSource(19))
 	const n = 64

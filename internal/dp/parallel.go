@@ -1,9 +1,8 @@
 package dp
 
 import (
-	"sync"
-
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // Parallel variants of the DP solvers, following the same recipe as
@@ -44,19 +43,15 @@ func AlignParallel(n, m int, g GapCosts, block, grain int) *matrix.Dense[float64
 	return d
 }
 
-// par2 runs two tasks, concurrently when size exceeds the grain.
-func par2(par bool, f1, f2 func()) {
-	if !par {
+// par2 runs two tasks, concurrently when size exceeds the grain. Forks
+// go through the shared work-stealing runtime (internal/par) rather
+// than raw goroutines, so the DP solvers obey the same worker budget,
+// depth cutoff, and telemetry as the GEP engines.
+func par2(parallel bool, f1, f2 func()) {
+	if !parallel {
 		f1()
 		f2()
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		f1()
-	}()
-	f2()
-	wg.Wait()
+	par.Do(f1, f2)
 }

@@ -22,11 +22,31 @@ func MulFused(c, a, b *matrix.Dense[float64], base int) {
 		core.WithBaseSize[float64](base))
 }
 
+// MulFusedParallel is MulFused through the multithreaded all-D
+// recursion: forks above the grain go to the work-stealing runtime
+// (internal/par), base blocks run the same fused micro-kernel. The
+// all-D recursion has span O(n) (Theorem 3.1), the best-scaling
+// workload of Figure 12. Results are bit-identical to MulFused.
+func MulFusedParallel(c, a, b *matrix.Dense[float64], base, grain int) {
+	checkMulDims(c, a, b)
+	core.RunDisjoint[float64](c, a, b, b, core.MulAdd[float64]{}, core.Full{},
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
+}
+
 // LUFused performs in-place LU decomposition (multipliers below the
 // diagonal) through RunIGEP with the fused LU op over the LU set.
 func LUFused(c *matrix.Dense[float64], base int) {
 	core.RunIGEP[float64](c, core.LUFactor[float64]{}, core.LU{},
 		core.WithBaseSize[float64](base))
+}
+
+// LUFusedParallel is LUFused through the multithreaded A/B/C/D
+// recursion (Figure 6) on the work-stealing runtime. RunABCD refines
+// the same partial order as RunIGEP, so results are bit-identical to
+// LUFused at every worker count.
+func LUFusedParallel(c *matrix.Dense[float64], base, grain int) {
+	core.RunABCD[float64](c, core.LUFactor[float64]{}, core.LU{},
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
 }
 
 // GaussFused performs in-place Gaussian elimination (no multipliers
@@ -35,4 +55,12 @@ func LUFused(c *matrix.Dense[float64], base int) {
 func GaussFused(c *matrix.Dense[float64], base int) {
 	core.RunIGEP[float64](c, core.GaussElim[float64]{}, core.Gaussian{},
 		core.WithBaseSize[float64](base))
+}
+
+// GaussFusedParallel is GaussFused through the multithreaded A/B/C/D
+// recursion on the work-stealing runtime; bit-identical to GaussFused
+// at every worker count.
+func GaussFusedParallel(c *matrix.Dense[float64], base, grain int) {
+	core.RunABCD[float64](c, core.GaussElim[float64]{}, core.Gaussian{},
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
 }

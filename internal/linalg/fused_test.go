@@ -6,6 +6,7 @@ import (
 
 	"gep/internal/core"
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // Differential tests for the engine-backed fused entry points
@@ -62,6 +63,45 @@ func TestGaussFusedMatchesIterative(t *testing.T) {
 			if !want.EqualFunc(got, func(x, y float64) bool { return x == y }) {
 				t.Fatalf("n=%d base=%d: GaussFused differs from iterative GEP", n, base)
 			}
+		}
+	}
+}
+
+// TestFusedParallelMatchesSerial: the parallel fused entry points run
+// the same update sequence through the work-stealing runtime
+// (internal/par), so at every worker count the result must be bitwise
+// equal to the serial fused path.
+func TestFusedParallelMatchesSerial(t *testing.T) {
+	defer par.ResetWorkers()
+	rng := rand.New(rand.NewSource(53))
+	const n, base, grain = 64, 8, 16
+	a, b := randDense(rng, n), randDense(rng, n)
+	lu := diagDominant(rng, n)
+
+	wantMul := matrix.NewSquare[float64](n)
+	MulFused(wantMul, a, b, base)
+	wantLU := lu.Clone()
+	LUFused(wantLU, base)
+	wantGauss := lu.Clone()
+	GaussFused(wantGauss, base)
+
+	eq := func(x, y float64) bool { return x == y }
+	for _, p := range []int{1, 2, 4} {
+		par.SetWorkers(p)
+		gotMul := matrix.NewSquare[float64](n)
+		MulFusedParallel(gotMul, a, b, base, grain)
+		if !wantMul.EqualFunc(gotMul, eq) {
+			t.Fatalf("p=%d: MulFusedParallel differs from MulFused", p)
+		}
+		gotLU := lu.Clone()
+		LUFusedParallel(gotLU, base, grain)
+		if !wantLU.EqualFunc(gotLU, eq) {
+			t.Fatalf("p=%d: LUFusedParallel differs from LUFused", p)
+		}
+		gotGauss := lu.Clone()
+		GaussFusedParallel(gotGauss, base, grain)
+		if !wantGauss.EqualFunc(gotGauss, eq) {
+			t.Fatalf("p=%d: GaussFusedParallel differs from GaussFused", p)
 		}
 	}
 }

@@ -159,10 +159,9 @@ func MulIGEPParallel(c, a, b *matrix.Dense[float64], base, grain int) {
 }
 
 // mulRecPar runs the quadrants of each k-half as a fork-join group on
-// the bounded worker pool of internal/par: at most GOMAXPROCS pool
-// goroutines exist at once, and a fork that finds the pool saturated
-// runs inline, so deep recursions no longer create one goroutine per
-// spawn.
+// the work-stealing runtime of internal/par: forks land on the
+// caller's worker deque (or run inline past the depth cutoff), so deep
+// recursions never create one goroutine per spawn.
 func mulRecPar(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base, grain int) {
 	if s <= grain {
 		mulRec(c, a, b, i0, j0, k0, s, base)

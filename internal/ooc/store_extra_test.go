@@ -1,0 +1,253 @@
+package ooc
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"gep/internal/matrix"
+)
+
+// Tests for the store and view paths the round-trip tests do not
+// reach: defaulted configuration, counter reset, eviction buffer
+// reuse, write-back durability across eviction, file lifecycle, the
+// layout clamps, and the constructor panics.
+
+func TestDefaultDiskIsUsable(t *testing.T) {
+	cfg := DefaultDisk()
+	s, err := Create(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.Config(); got != cfg {
+		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	}
+	if cfg.SeekTime != 4500*time.Microsecond || cfg.TransferRate != 85e6 {
+		t.Fatalf("DefaultDisk drifted from the paper's disk model: %+v", cfg)
+	}
+}
+
+// TestCreateDefaultsDiskModel: a Config that only fixes the cache
+// geometry gets the paper's disk timing filled in.
+func TestCreateDefaultsDiskModel(t *testing.T) {
+	s := newTestStore(t, 64, 256)
+	cfg := s.Config()
+	if cfg.SeekTime == 0 || cfg.TransferRate == 0 {
+		t.Fatalf("Create left disk model unset: %+v", cfg)
+	}
+}
+
+func TestResetStatsKeepsCache(t *testing.T) {
+	s := newTestStore(t, 64, 256)
+	s.WriteFloat(0, 1)
+	s.WriteFloat(8, 2)
+	if s.Stats() == (Stats{}) {
+		t.Fatal("writes recorded no stats")
+	}
+	resident := s.Resident()
+	s.ResetStats()
+	if s.Stats() != (Stats{}) {
+		t.Fatalf("ResetStats left %+v", s.Stats())
+	}
+	if s.Resident() != resident {
+		t.Fatalf("ResetStats changed residency: %d -> %d", resident, s.Resident())
+	}
+	// The cached page still serves hits without re-reading.
+	if got := s.ReadFloat(0); got != 1 {
+		t.Fatalf("ReadFloat after reset = %g", got)
+	}
+	if st := s.Stats(); st.Hits != 1 || st.PageReads != 0 {
+		t.Fatalf("post-reset access stats = %+v, want 1 hit and no reads", st)
+	}
+}
+
+// TestEvictionReusesBuffer: once the cache is full, faulting a new
+// page must not grow residency — the LRU victim's buffer is recycled
+// and, when dirty, written back first so its data survives.
+func TestEvictionReusesBuffer(t *testing.T) {
+	const pageSize, pages = 64, 2
+	s := newTestStore(t, pageSize, pageSize*pages)
+	for p := 0; p < pages; p++ {
+		s.WriteFloat(int64(p*pageSize), float64(p+1))
+	}
+	if s.Resident() != pages {
+		t.Fatalf("resident = %d, want %d", s.Resident(), pages)
+	}
+	for p := pages; p < 4*pages; p++ {
+		s.WriteFloat(int64(p*pageSize), float64(p+1))
+		if s.Resident() != pages {
+			t.Fatalf("after faulting page %d: resident = %d, want %d", p, s.Resident(), pages)
+		}
+	}
+	writes := s.Stats().PageWrites
+	if writes == 0 {
+		t.Fatal("dirty evictions recorded no page writes")
+	}
+	// Every page written, including the long-evicted first ones, reads
+	// back intact (from disk, not cache: 8 pages > 2 resident).
+	for p := 0; p < 4*pages; p++ {
+		if got := s.ReadFloat(int64(p * pageSize)); got != float64(p+1) {
+			t.Fatalf("page %d = %g, want %d", p, got, p+1)
+		}
+	}
+}
+
+// TestCleanEvictionSkipsWriteBack: pages that were only read are
+// dropped without a disk write.
+func TestCleanEvictionSkipsWriteBack(t *testing.T) {
+	const pageSize = 64
+	s := newTestStore(t, pageSize, pageSize) // 1 resident page
+	for p := 0; p < 5; p++ {
+		s.ReadFloat(int64(p * pageSize))
+	}
+	if st := s.Stats(); st.PageWrites != 0 {
+		t.Fatalf("clean evictions wrote %d pages", st.PageWrites)
+	}
+}
+
+func TestFlushWritesBackAllDirty(t *testing.T) {
+	const pageSize = 64
+	s := newTestStore(t, pageSize, 4*pageSize)
+	for p := 0; p < 3; p++ {
+		s.WriteFloat(int64(p*pageSize), float64(p))
+	}
+	s.Flush()
+	if st := s.Stats(); st.PageWrites != 3 {
+		t.Fatalf("Flush wrote %d pages, want 3", st.PageWrites)
+	}
+	// All resident pages are clean now; a second flush writes nothing.
+	s.Flush()
+	if st := s.Stats(); st.PageWrites != 3 {
+		t.Fatalf("second Flush wrote %d more pages", st.PageWrites-3)
+	}
+}
+
+// TestCloseRemovesOwnedFile: Close flushes and deletes the temp file
+// the store created.
+func TestCloseRemovesOwnedFile(t *testing.T) {
+	s, err := Create(t.TempDir(), Config{PageSize: 64, CacheSize: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.WriteFloat(0, 7)
+	name := s.f.Name()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("backing file %s still exists after Close (stat err: %v)", name, err)
+	}
+}
+
+func TestIOTimeCountsBothDirections(t *testing.T) {
+	const pageSize = 64
+	s := newTestStore(t, pageSize, pageSize) // 1 resident page
+	s.WriteFloat(0, 1)                       // 1 read fault
+	s.WriteFloat(pageSize, 2)                // evict dirty page: 1 write + 1 read
+	st := s.Stats()
+	if st.PageReads != 2 || st.PageWrites != 1 {
+		t.Fatalf("stats = %+v, want 2 reads 1 write", st)
+	}
+	cfg := s.Config()
+	n := st.PageReads + st.PageWrites
+	transfer := float64(n) * float64(pageSize) / cfg.TransferRate
+	want := time.Duration(n)*cfg.SeekTime + time.Duration(transfer*float64(time.Second))
+	if got := s.IOTime(); got != want {
+		t.Fatalf("IOTime = %v, want %v", got, want)
+	}
+}
+
+func TestMortonTiledLayoutClampsBlock(t *testing.T) {
+	s := newTestStore(t, 64, 1024)
+	// block 8 > n 4: the layout must clamp instead of indexing out of
+	// the tile grid.
+	m := NewMatrix(s, 4, 0, MortonTiledLayout(8))
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got := m.At(i, j); got != float64(10*i+j) {
+				t.Fatalf("At(%d,%d) = %g", i, j, got)
+			}
+		}
+	}
+}
+
+func TestLoadUnloadRoundTrip(t *testing.T) {
+	const n = 8
+	s := newTestStore(t, 64, 256)
+	src := matrix.NewSquare[float64](n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			src.Set(i, j, float64(i*n+j))
+		}
+	}
+	m := NewMatrix(s, n, 0, RowMajorLayout)
+	m.Load(src)
+	if m.N() != n || m.Bytes() != n*n*8 {
+		t.Fatalf("N=%d Bytes=%d", m.N(), m.Bytes())
+	}
+	out := m.Unload()
+	if !src.EqualFunc(out, func(a, b float64) bool { return a == b }) {
+		t.Fatal("Unload differs from Load input")
+	}
+}
+
+func TestRectRowMajorAddressing(t *testing.T) {
+	s := newTestStore(t, 64, 1024)
+	r := NewRect(s, 3, 5, 0)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			r.Set(i, j, float64(100*i+j))
+		}
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if got := r.At(i, j); got != float64(100*i+j) {
+				t.Fatalf("At(%d,%d) = %g", i, j, got)
+			}
+			// Same cell straight from the store: row-major addressing.
+			if got := s.ReadFloat(int64(i*5+j) * 8); got != float64(100*i+j) {
+				t.Fatalf("store offset for (%d,%d) = %g", i, j, got)
+			}
+		}
+	}
+}
+
+// TestTiledRectPadding: Bytes rounds both dimensions up to whole
+// tiles, and an oversized tile clamps to the rect's dimensions.
+func TestTiledRectPadding(t *testing.T) {
+	s := newTestStore(t, 64, 1024)
+	r := NewTiledRect(s, 5, 7, 4, 0)
+	// ceil(5/4)=2 tile rows x ceil(7/4)=2 tile cols x 16 cells x 8 B.
+	if got := r.Bytes(); got != 2*2*16*8 {
+		t.Fatalf("Bytes = %d, want %d", got, 2*2*16*8)
+	}
+	clamped := NewTiledRect(s, 2, 3, 100, r.Bytes())
+	if clamped.tile != 2 {
+		t.Fatalf("tile = %d, want clamped to 2", clamped.tile)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	s := newTestStore(t, 64, 256)
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("NewMatrix misaligned base", func() { NewMatrix(s, 4, 4, RowMajorLayout) })
+	expectPanic("NewRect misaligned base", func() { NewRect(s, 2, 2, 12) })
+	expectPanic("NewTiledRect misaligned base", func() { NewTiledRect(s, 2, 2, 1, 20) })
+	expectPanic("NewTiledRect zero tile", func() { NewTiledRect(s, 2, 2, 0, 0) })
+	m := NewMatrix(s, 4, 0, RowMajorLayout)
+	expectPanic("Load size mismatch", func() { m.Load(matrix.NewSquare[float64](2)) })
+}

@@ -1,22 +1,32 @@
-// Package par provides the bounded fork-join spawner shared by the
-// parallel GEP engines (internal/core, internal/linalg, internal/apsp).
+// Package par is the work-stealing fork-join runtime shared by the
+// parallel GEP engines (internal/core, internal/linalg, internal/apsp,
+// internal/dp).
 //
 // The multithreaded recursions of Figure 6 expose far more parallel
-// tasks than there are processors: spawning a goroutine per task
-// oversubscribes the scheduler and loses the locality that makes
-// work-stealing analyses (Lemma 3.1, modeled in internal/sched) work —
-// a LIFO-executing worker keeps a subtree's blocks in its cache. This
-// package bounds concurrency the way a work-stealing pool does at the
-// "steal" boundary: a fixed budget of GOMAXPROCS worker slots, and a
-// task that finds no free slot runs inline on its caller, exactly as an
-// unstolen Cilk child would. Inline fallback also makes nested Spawn
-// calls trivially deadlock-free: a task never blocks waiting for a
-// slot.
+// tasks than there are processors — that surplus (parallel slack) is
+// what gives the paper's Theorem 3.1 its T_p = O(T_1/p + T_inf)
+// guarantee, but only if the scheduler keeps it. This package runs a
+// long-lived worker set sized by GOMAXPROCS (or SetWorkers): each
+// worker owns a LIFO deque it pushes and pops at the tail, idle
+// workers steal FIFO from the head of a randomly chosen victim, and a
+// fork at or past the depth cutoff runs inline on its caller by
+// policy. LIFO self-execution reproduces the serial depth-first order
+// on each worker (so a subtree's blocks stay in that worker's cache —
+// the locality behind Lemma 3.1/3.2, modeled in internal/sched), FIFO
+// stealing migrates the largest pending subtrees (so one steal pays
+// for many local pops), and the depth cutoff stops forking once the
+// slack already exceeds the worker count, instead of discarding slack
+// whenever a token pool happens to be full. Joins help rather than
+// block: a goroutine waiting on a fork executes other pending tasks
+// (its own deque first, then stealing no shallower than the awaited
+// fork), which makes nested fork-join deadlock-free by construction.
 //
-// Key entry points: Spawn offers one task to the pool and returns a
-// wait function (the signature core.WithSpawn expects); Do executes a
-// slice of tasks as one fork-join group. Both record their
-// pooled-vs-inline decisions in internal/metrics ("par.spawn.pooled",
-// "par.spawn.inline"), which is the live saturation signal of the
-// pool in BENCH_*.json telemetry.
+// Key entry points: Spawn forks one task and returns a wait function
+// (the signature core.WithSpawn expects); Do executes a slice of tasks
+// as one fork-join group; Group is the incremental variant. Every
+// decision is recorded in internal/metrics — "par.spawn.pooled" vs
+// "par.spawn.inline" on the fork side, "par.local" / "par.steal" /
+// "par.help" on the execution side, and a per-worker depth histogram
+// ("par.w<i>.d<k>") — and lands in BENCH_*.json telemetry. See
+// DESIGN.md §11 for the full discipline and its cache argument.
 package par

@@ -1,0 +1,76 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Goroutine identity. Go deliberately hides goroutine ids, but a
+// fork-join runtime needs one piece of goroutine-local state: "which
+// worker (and at what fork depth) is the goroutine calling Spawn?" —
+// that is what routes a fork to the caller's own deque (the work-first
+// LIFO discipline) instead of a random victim, and what the depth
+// cutoff reads. The id is recovered by parsing the header line of
+// runtime.Stack for the current goroutine ("goroutine N [running]:"),
+// which costs about a microsecond. Spawn happens once per fork-join
+// group above the grain size — thousands of times per engine run, not
+// per element — so the cost is noise next to the base-case kernels.
+
+// goid returns the current goroutine's id.
+func goid() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const skip = len("goroutine ")
+	var id uint64
+	for _, c := range buf[skip:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// gctx is the per-goroutine scheduling context: the worker the
+// goroutine belongs to (nil for external goroutines that are only
+// temporarily executing tasks, e.g. while helping during a join) and
+// the fork depth of the task it is currently running. depth is only
+// ever read and written by the owning goroutine, so it needs no
+// synchronization; the registry below is what crosses goroutines and
+// it is guarded by sharded mutexes.
+type gctx struct {
+	w     *worker
+	depth int32
+}
+
+const ctxShards = 64
+
+var ctxReg [ctxShards]struct {
+	mu sync.Mutex
+	m  map[uint64]*gctx
+}
+
+func registerCtx(id uint64, c *gctx) {
+	s := &ctxReg[id%ctxShards]
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[uint64]*gctx)
+	}
+	s.m[id] = c
+	s.mu.Unlock()
+}
+
+func unregisterCtx(id uint64) {
+	s := &ctxReg[id%ctxShards]
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+func lookupCtx(id uint64) *gctx {
+	s := &ctxReg[id%ctxShards]
+	s.mu.Lock()
+	c := s.m[id]
+	s.mu.Unlock()
+	return c
+}

@@ -1,112 +1,129 @@
 package par
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
+import "runtime"
 
-	"gep/internal/metrics"
-)
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }
 
-// The worker budget follows runtime.GOMAXPROCS instead of being frozen
-// at package init: every Spawn re-checks the current GOMAXPROCS and
-// swaps in a fresh semaphore when it changed (e.g. a test or caller
-// resized the runtime after this package was linked in). SetWorkers
-// pins an explicit budget, after which GOMAXPROCS changes are ignored.
-//
-// A spawned goroutine releases its token into the exact channel it
-// acquired from, so resizing never corrupts accounting: tokens of a
-// retired semaphore drain into the retired channel and are simply
-// garbage-collected with it.
-var pool struct {
-	mu  sync.Mutex
-	sem atomic.Pointer[chan struct{}]
-	// procs is the GOMAXPROCS value sem was sized from, or 0 when the
-	// size was pinned by SetWorkers.
-	procs  atomic.Int64
-	pinned atomic.Bool
-}
-
-func init() {
-	resize(runtime.GOMAXPROCS(0), false)
-}
-
-// resize installs a fresh semaphore with n slots. Callers hold no lock;
-// racing resizes are serialized by pool.mu.
-func resize(n int, pin bool) {
-	if n < 1 {
-		n = 1
-	}
-	pool.mu.Lock()
-	defer pool.mu.Unlock()
-	sem := make(chan struct{}, n)
-	pool.sem.Store(&sem)
-	pool.pinned.Store(pin)
-	if pin {
-		pool.procs.Store(0)
-	} else {
-		pool.procs.Store(int64(n))
-	}
-}
-
-// SetWorkers fixes the worker budget to n (clamped to >= 1) and stops
-// tracking GOMAXPROCS. Goroutines already running keep their slots in
-// the previous pool; new spawns see only the new budget.
+// SetWorkers fixes the worker set size to n (clamped to >= 1) and
+// stops tracking GOMAXPROCS; the previous generation of workers drains
+// its deques and retires. Use ResetWorkers to return to automatic
+// sizing.
 func SetWorkers(n int) { resize(n, true) }
 
-// Workers returns the current worker budget.
-func Workers() int { return cap(*acquireSem()) }
+// ResetWorkers returns the runtime to its default mode: a worker set
+// sized by (and tracking) runtime.GOMAXPROCS.
+func ResetWorkers() { resize(gomaxprocs(), false) }
 
-// acquireSem returns the current semaphore, first re-sizing the pool if
-// GOMAXPROCS moved since the semaphore was created (unless pinned).
-func acquireSem() *chan struct{} {
-	if !pool.pinned.Load() {
-		if p := int64(runtime.GOMAXPROCS(0)); p != pool.procs.Load() {
-			resize(int(p), false)
-		}
-	}
-	return pool.sem.Load()
+// Workers returns the current worker-set size.
+func Workers() int { return len(current().workers) }
+
+// SetDepthCutoff overrides the fork-depth serial cutoff: Spawns at
+// depth >= d run inline on their caller. d <= 0 restores the automatic
+// policy (log2(workers) + 2, enough fork levels to saturate the
+// workers with 4-8x slack for stealing). The change rebuilds the
+// worker set, so it is a test-and-experiment knob, not a hot-path one.
+func SetDepthCutoff(d int32) {
+	sched.cutoffOverride.Store(max32(d, 0))
+	resize(Workers(), sched.pinned.Load())
 }
 
-// Telemetry: how often tasks actually reached a pool worker vs ran
-// inline on their caller. The ratio is the live saturation signal —
-// near-zero inline runs mean spare slots, mostly-inline means the pool
-// is the bottleneck. Snapshots land in BENCH_*.json via internal/bench.
-var (
-	pooledCount = metrics.New("par.spawn.pooled")
-	inlineCount = metrics.New("par.spawn.inline")
-)
+// DepthCutoff returns the active fork-depth cutoff.
+func DepthCutoff() int32 { return current().cutoff }
 
-// Spawn runs task on a pool worker when a slot is free and inline on
-// the caller otherwise. The returned wait function blocks until task
-// has completed (it returns immediately after an inline run). The
-// signature matches core.WithSpawn.
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func noopWait() {}
+
+// Spawn forks task and returns a function that waits for it to
+// complete. The signature matches core.WithSpawn.
+//
+// Routing policy, in order:
+//
+//  1. One worker, or fork depth at/past the cutoff: run inline on the
+//     caller and return a no-op wait. This is a policy decision made
+//     before any queueing — under the old semaphore pool, deep forks
+//     ran inline only because the tokens happened to be taken, which
+//     discarded exactly the parallel slack the A/B/C/D recursion
+//     creates at its deep fork points.
+//  2. Caller is a worker of the live generation: push onto its own
+//     deque (LIFO end). The owner pops newest-first, so an unstolen
+//     child runs in the same order, on the same goroutine, with the
+//     same warm cache as the serial execution — the work-first
+//     discipline that preserves the Lemma 3.1/3.2 locality arguments.
+//  3. Otherwise (external goroutine, e.g. the engine's initial call):
+//     push onto a pseudo-randomly chosen worker's deque.
+//
+// The returned wait helps: while the task is unfinished, the waiting
+// goroutine executes other pending tasks (own deque first, then
+// stealing no shallower than the awaited fork) rather than blocking a
+// worker, so joins can never deadlock the worker set, and a task
+// stranded by a concurrent SetWorkers resize is executed by its own
+// joiner.
 func Spawn(task func()) (wait func()) {
-	sem := *acquireSem()
-	select {
-	case sem <- struct{}{}:
-		pooledCount.Inc()
-		done := make(chan struct{})
-		go func() {
-			defer func() {
-				// Release into the channel the token came from, even if
-				// the pool has been resized since.
-				<-sem
-				close(done)
-			}()
-			task()
-		}()
-		return func() { <-done }
-	default:
+	rt := current()
+	if len(rt.workers) == 1 {
+		// Serial budget: every fork inlines, no ids, no queues — the
+		// p = 1 wall time is the serial wall time plus one branch.
 		inlineCount.Inc()
 		task()
-		return func() {}
+		return noopWait
 	}
+	id := goid()
+	ctx := lookupCtx(id)
+	var depth int32
+	if ctx != nil {
+		depth = ctx.depth + 1
+	}
+	if depth >= rt.cutoff {
+		inlineCount.Inc()
+		runInline(id, ctx, depth, task)
+		return noopWait
+	}
+	t := &wtask{fn: task, depth: depth, done: make(chan struct{})}
+	pooledCount.Inc()
+	if w := workerOf(ctx, rt); w != nil {
+		localSpawnCount.Inc()
+		w.dq.push(t)
+	} else {
+		injectSpawnCount.Inc()
+		injectVictim(rt).dq.push(t)
+	}
+	rt.wakeOne()
+	return func() { rt.join(t) }
+}
+
+// workerOf returns the caller's worker when it belongs to the live
+// generation, else nil.
+func workerOf(ctx *gctx, rt *scheduler) *worker {
+	if ctx != nil && ctx.w != nil && ctx.w.rt == rt {
+		return ctx.w
+	}
+	return nil
+}
+
+// runInline executes a policy-inlined fork on the caller, keeping the
+// goroutine's fork depth current so nested Spawns keep counting levels
+// (otherwise an inlined subtree would restart the cutoff clock).
+func runInline(id uint64, ctx *gctx, depth int32, task func()) {
+	if ctx == nil {
+		ctx = &gctx{}
+		registerCtx(id, ctx)
+		defer unregisterCtx(id)
+	}
+	old := ctx.depth
+	ctx.depth = depth
+	task()
+	ctx.depth = old
 }
 
 // Do executes the tasks as one fork-join group: all but the last are
-// offered to the pool, the last runs on the calling goroutine, and Do
-// returns only when every task has completed.
+// forked, the last runs on the calling goroutine, and Do returns only
+// when every task has completed.
 func Do(tasks ...func()) {
 	switch len(tasks) {
 	case 0:
@@ -123,4 +140,24 @@ func Do(tasks ...func()) {
 	for _, w := range waits {
 		w()
 	}
+}
+
+// Group is an incremental fork-join scope for call sites that fork a
+// data-dependent number of tasks: Go forks, Wait joins them all. The
+// zero value is ready to use. A Group is not safe for concurrent use
+// by multiple goroutines (fork-join scopes are owned by one frame);
+// after Wait it is empty and may be reused.
+type Group struct {
+	waits []func()
+}
+
+// Go forks task into the group.
+func (g *Group) Go(task func()) { g.waits = append(g.waits, Spawn(task)) }
+
+// Wait blocks until every task forked since the last Wait completes.
+func (g *Group) Wait() {
+	for _, w := range g.waits {
+		w()
+	}
+	g.waits = g.waits[:0]
 }

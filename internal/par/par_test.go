@@ -5,10 +5,12 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+
+	"gep/internal/metrics"
 )
 
 // TestDoRunsAllTasks checks completion and result visibility for flat
-// and deeply nested fork-join groups.
+// fork-join groups.
 func TestDoRunsAllTasks(t *testing.T) {
 	var n atomic.Int64
 	tasks := make([]func(), 100)
@@ -21,8 +23,9 @@ func TestDoRunsAllTasks(t *testing.T) {
 	}
 }
 
-// TestNestedSpawnNoDeadlock forces far more nested forks than worker
-// slots; inline fallback must keep the recursion deadlock-free.
+// TestNestedSpawnNoDeadlock forces far more nested forks than workers;
+// the depth cutoff and join-helping must keep the recursion
+// deadlock-free.
 func TestNestedSpawnNoDeadlock(t *testing.T) {
 	var sum atomic.Int64
 	var rec func(depth int)
@@ -38,18 +41,16 @@ func TestNestedSpawnNoDeadlock(t *testing.T) {
 			func() { rec(depth - 1) },
 		)
 	}
-	rec(6) // 4^6 = 4096 leaves through a pool of GOMAXPROCS slots
+	rec(6) // 4^6 = 4096 leaves through the worker set
 	if got := sum.Load(); got != 4096 {
 		t.Fatalf("nested recursion completed %d of 4096 leaves", got)
 	}
 }
 
-// TestSpawnBounded checks the pool never runs more than GOMAXPROCS
-// spawned tasks concurrently (the wait functions synchronize, so the
-// counter is exact for pooled tasks; inline tasks run on callers we
-// created ourselves).
+// TestSpawnBounded checks concurrency never exceeds the worker count
+// plus the one goroutine that may be helping inside a join.
 func TestSpawnBounded(t *testing.T) {
-	budget := int64(runtime.GOMAXPROCS(0))
+	budget := int64(Workers())
 	var cur, peak atomic.Int64
 	var mu sync.Mutex
 	var waits []func()
@@ -68,37 +69,37 @@ func TestSpawnBounded(t *testing.T) {
 	for _, w := range waits {
 		w()
 	}
-	// Callers count too: a saturated Spawn runs inline on this
-	// goroutine, so concurrency can reach budget+1 but no further.
+	// The caller counts too: it runs inline forks and helps during
+	// joins, so concurrency can reach budget+1 but no further.
 	if p := peak.Load(); p > budget+1 {
-		t.Fatalf("peak concurrency %d exceeds pool budget %d(+1 inline)", p, budget)
+		t.Fatalf("peak concurrency %d exceeds %d workers (+1 joiner)", p, budget)
 	}
 }
 
-// TestSetWorkersResizes pins an explicit budget and checks Workers
+// TestSetWorkersResizes pins an explicit size and checks Workers
 // reflects it, then restores GOMAXPROCS tracking for other tests.
 func TestSetWorkersResizes(t *testing.T) {
 	orig := runtime.GOMAXPROCS(0)
-	defer resize(orig, false) // back to tracking mode
+	defer ResetWorkers()
 
 	SetWorkers(3)
 	if got := Workers(); got != 3 {
 		t.Fatalf("Workers() = %d after SetWorkers(3)", got)
 	}
-	// Pinned budgets ignore GOMAXPROCS moves.
+	// Pinned sizes ignore GOMAXPROCS moves.
 	runtime.GOMAXPROCS(orig + 1)
 	defer runtime.GOMAXPROCS(orig)
 	if got := Workers(); got != 3 {
 		t.Fatalf("pinned Workers() = %d after GOMAXPROCS change, want 3", got)
 	}
-	// The pool still works at the new size.
+	// The runtime still works at the new size.
 	var n atomic.Int64
 	Do(func() { n.Add(1) }, func() { n.Add(1) }, func() { n.Add(1) })
 	if n.Load() != 3 {
 		t.Fatal("Do lost tasks after SetWorkers")
 	}
 	if Workers() < 1 {
-		t.Fatal("worker budget below 1")
+		t.Fatal("worker count below 1")
 	}
 	SetWorkers(0) // clamps to 1
 	if got := Workers(); got != 1 {
@@ -106,16 +107,16 @@ func TestSetWorkersResizes(t *testing.T) {
 	}
 }
 
-// TestWorkersTracksGOMAXPROCS: without a pinned budget, the pool
+// TestWorkersTracksGOMAXPROCS: without a pinned size, the worker set
 // follows runtime.GOMAXPROCS instead of the value frozen at package
 // init.
 func TestWorkersTracksGOMAXPROCS(t *testing.T) {
 	orig := runtime.GOMAXPROCS(0)
 	defer func() {
 		runtime.GOMAXPROCS(orig)
-		resize(orig, false)
+		ResetWorkers()
 	}()
-	resize(orig, false) // ensure tracking mode
+	ResetWorkers() // ensure tracking mode
 
 	if got := Workers(); got != orig {
 		t.Fatalf("Workers() = %d, want GOMAXPROCS = %d", got, orig)
@@ -125,7 +126,8 @@ func TestWorkersTracksGOMAXPROCS(t *testing.T) {
 	if got := Workers(); got != next {
 		t.Fatalf("Workers() = %d after GOMAXPROCS(%d)", got, next)
 	}
-	// Tasks spawned across a resize still complete and release cleanly.
+	// Tasks spawned across a resize still complete: the retiring
+	// generation drains, and any straggler is executed by its joiner.
 	var n atomic.Int64
 	var waits []func()
 	for i := 0; i < 8; i++ {
@@ -139,5 +141,246 @@ func TestWorkersTracksGOMAXPROCS(t *testing.T) {
 	}
 	if n.Load() != 8 {
 		t.Fatalf("completed %d of 8 tasks across a resize", n.Load())
+	}
+}
+
+// spawnDelta runs f and returns the deltas of the spawn- and
+// execution-side counters across it.
+func spawnDelta(f func()) (pooled, inline, local, steal, help int64) {
+	before := metrics.Snapshot()
+	f()
+	d := metrics.Diff(before, metrics.Snapshot())
+	return d["par.spawn.pooled"], d["par.spawn.inline"],
+		d["par.local"], d["par.steal"], d["par.help"]
+}
+
+// TestSpawnAccountingExact asserts the two accounting invariants the
+// telemetry promises: every Spawn is counted exactly once as pooled or
+// inline, and every pooled task is executed (and counted) exactly once
+// as local, stolen, or helped — with no drops or double counts even
+// when SetWorkers retires a generation mid-stream.
+func TestSpawnAccountingExact(t *testing.T) {
+	defer ResetWorkers()
+
+	check := func(name string, spawns int64, body func()) {
+		t.Helper()
+		pooled, inline, local, steal, help := spawnDelta(body)
+		if pooled+inline != spawns {
+			t.Fatalf("%s: pooled(%d) + inline(%d) = %d, want exactly %d spawns",
+				name, pooled, inline, pooled+inline, spawns)
+		}
+		if got := local + steal + help; got != pooled {
+			t.Fatalf("%s: local(%d) + steal(%d) + help(%d) = %d executed, want pooled = %d",
+				name, local, steal, help, got, pooled)
+		}
+	}
+
+	// Serial worker set: everything must inline.
+	SetWorkers(1)
+	check("p=1", 50, func() {
+		var waits []func()
+		for i := 0; i < 50; i++ {
+			waits = append(waits, Spawn(func() {}))
+		}
+		for _, w := range waits {
+			w()
+		}
+	})
+
+	// Multi-worker set: mix of local pushes (from workers), injected
+	// pushes (from this test goroutine) and cutoff inlining. Do(4)
+	// forks 3 and runs the last task directly, so the outer group
+	// spawns 3 and each of the 4 bodies spawns 3 more: 15 total.
+	SetWorkers(4)
+	check("p=4 nested", 15, func() {
+		Do(
+			func() { Do(func() {}, func() {}, func() {}, func() {}) },
+			func() { Do(func() {}, func() {}, func() {}, func() {}) },
+			func() { Do(func() {}, func() {}, func() {}, func() {}) },
+			func() { Do(func() {}, func() {}, func() {}, func() {}) },
+		)
+	})
+
+	// Resize mid-stream: spawn against a 4-worker set, retire it to a
+	// 2-worker set while waits are outstanding, then join everything.
+	check("resize mid-stream", 40, func() {
+		var waits []func()
+		for i := 0; i < 40; i++ {
+			waits = append(waits, Spawn(func() {}))
+			if i == 20 {
+				SetWorkers(2)
+			}
+		}
+		for _, w := range waits {
+			w()
+		}
+	})
+}
+
+// TestSpawnCountPrecise pins down the exact spawn arithmetic of Do
+// that TestSpawnAccountingExact's nested case relies on.
+func TestSpawnCountPrecise(t *testing.T) {
+	defer ResetWorkers()
+	SetWorkers(1)
+	pooled, inline, _, _, _ := spawnDelta(func() {
+		Do(func() {}, func() {}, func() {}, func() {})
+	})
+	if pooled != 0 || inline != 3 {
+		t.Fatalf("Do(4) at p=1: pooled=%d inline=%d, want 0/3 (last task runs direct)", pooled, inline)
+	}
+}
+
+// TestWorkDistribution checks the deque discipline end to end: a task
+// running on a worker pushes its forks onto its own deque
+// (par.spawn.local), and while that worker blocks, some other
+// goroutine — the idle second worker stealing FIFO, or the joiner
+// helping — must pick a child up. The parent blocks until one child
+// has run, so distribution off the home deque is forced, not timing-
+// dependent.
+func TestWorkDistribution(t *testing.T) {
+	defer ResetWorkers()
+	SetWorkers(2)
+
+	parentStarted := make(chan struct{})
+	childRan := make(chan struct{}, 4)
+	before := metrics.Snapshot()
+	parentWait := Spawn(func() {
+		close(parentStarted)
+		var g Group
+		for i := 0; i < 4; i++ {
+			g.Go(func() { childRan <- struct{}{} })
+		}
+		// The parent's goroutine is blocked here, outside any join:
+		// only a thief or a helping joiner can run the first child.
+		<-childRan
+		g.Wait()
+	})
+	// Don't join until the parent is running on a worker, so its forks
+	// are local pushes rather than injections.
+	<-parentStarted
+	parentWait()
+	d := metrics.Diff(before, metrics.Snapshot())
+	if d["par.spawn.local"] < 4 {
+		t.Fatalf("par.spawn.local = %d, want >= 4 (worker pushing its own forks)", d["par.spawn.local"])
+	}
+	if d["par.steal"]+d["par.help"] < 1 {
+		t.Fatalf("steal=%d help=%d: no task left its home deque", d["par.steal"], d["par.help"])
+	}
+}
+
+// TestDequeDiscipline pins the queue orders the scheduler relies on:
+// owners pop newest-first (LIFO), thieves take oldest-first (FIFO),
+// and depth-restricted steals skip shallower tasks without reordering
+// the rest.
+func TestDequeDiscipline(t *testing.T) {
+	mk := func(depth int32) *wtask { return &wtask{depth: depth} }
+	var d deque
+	t0, t1, t2 := mk(0), mk(1), mk(2)
+	d.push(t0)
+	d.push(t1)
+	d.push(t2)
+	if got := d.pop(); got != t2 {
+		t.Fatal("pop is not LIFO")
+	}
+	d.push(t2)
+	if got := d.stealMin(0); got != t0 {
+		t.Fatal("stealMin(0) is not FIFO")
+	}
+	if got := d.stealMin(2); got != t2 {
+		t.Fatal("stealMin(2) did not skip the shallower task")
+	}
+	if got := d.stealMin(2); got != nil {
+		t.Fatal("stealMin(2) returned a task below the depth bound")
+	}
+	if got := d.stealMin(0); got != t1 {
+		t.Fatal("depth-restricted steal disturbed the remaining order")
+	}
+	if d.pop() != nil || d.stealMin(0) != nil {
+		t.Fatal("deque not empty after draining")
+	}
+}
+
+// TestDepthCutoffInlines verifies the policy cutoff: forks at depth >=
+// cutoff run inline even though workers and deque space are free.
+func TestDepthCutoffInlines(t *testing.T) {
+	defer func() {
+		SetDepthCutoff(0)
+		ResetWorkers()
+	}()
+	SetWorkers(4)
+	SetDepthCutoff(1) // every nested fork (depth >= 1) inlines
+
+	var leaves atomic.Int64
+	pooled, inline, _, _, _ := spawnDelta(func() {
+		var rec func(d int)
+		rec = func(d int) {
+			if d == 0 {
+				leaves.Add(1)
+				return
+			}
+			Do(func() { rec(d - 1) }, func() { rec(d - 1) })
+		}
+		rec(5)
+	})
+	if leaves.Load() != 32 {
+		t.Fatalf("completed %d of 32 leaves", leaves.Load())
+	}
+	// Depth counts Spawn edges: forks made while executing a pooled
+	// task sit at depth >= 1 and must inline under cutoff 1. Only the
+	// calling goroutine's direct recursion chain forks at depth 0 —
+	// once per level, 5 in total. 2^5-1 = 31 spawns altogether.
+	if pooled != 5 || inline != 26 {
+		t.Fatalf("cutoff 1: pooled=%d inline=%d, want 5/26", pooled, inline)
+	}
+	if got := DepthCutoff(); got != 1 {
+		t.Fatalf("DepthCutoff() = %d, want 1", got)
+	}
+}
+
+// TestGroupWaitsAll checks the incremental fork-join scope.
+func TestGroupWaitsAll(t *testing.T) {
+	var n atomic.Int64
+	var g Group
+	for i := 0; i < 37; i++ {
+		g.Go(func() { n.Add(1) })
+	}
+	g.Wait()
+	if n.Load() != 37 {
+		t.Fatalf("Group completed %d of 37 tasks", n.Load())
+	}
+	// Reusable after Wait.
+	g.Go(func() { n.Add(1) })
+	g.Wait()
+	if n.Load() != 38 {
+		t.Fatal("Group not reusable after Wait")
+	}
+}
+
+// TestJoinHelpsOwnForks: with a single worker busy on an unrelated
+// blocking task, a joiner must execute its own pooled forks itself
+// (the par.help path) rather than deadlocking behind the busy worker.
+func TestJoinHelpsOwnForks(t *testing.T) {
+	defer ResetWorkers()
+	SetWorkers(2)
+
+	block := make(chan struct{})
+	var busyStarted sync.WaitGroup
+	busyStarted.Add(2)
+	busy1 := Spawn(func() { busyStarted.Done(); <-block })
+	busy2 := Spawn(func() { busyStarted.Done(); <-block })
+	busyStarted.Wait() // both workers are now provably occupied
+	var ran atomic.Int64
+	_, _, _, _, help := spawnDelta(func() {
+		w := Spawn(func() { ran.Add(1) })
+		w() // both workers blocked: only helping can run this
+	})
+	close(block)
+	busy1()
+	busy2()
+	if ran.Load() != 1 {
+		t.Fatal("join did not run the pending task")
+	}
+	if help < 1 {
+		t.Fatalf("expected the joiner to help (par.help >= 1), got %d", help)
 	}
 }

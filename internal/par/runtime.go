@@ -1,0 +1,404 @@
+package par
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"gep/internal/metrics"
+)
+
+// The work-stealing machinery: a long-lived worker set, one LIFO deque
+// per worker, randomized FIFO stealing, and a join that helps (executes
+// pending tasks) instead of blocking a worker. See DESIGN.md §11 for
+// why this preserves the cache arguments of Lemmas 3.1/3.2.
+
+// wtask is one forked task in flight.
+type wtask struct {
+	fn    func()
+	depth int32
+	done  chan struct{}
+}
+
+// deque is one worker's task queue. The owner pushes and pops at the
+// tail (LIFO — the most recently forked, cache-hottest subproblem
+// first, which at p = 1 reproduces the serial depth-first execution
+// order exactly); thieves take from the head (FIFO — the oldest,
+// biggest pending subtree, so one steal pays for many local pops).
+// A mutex is plenty: pushes happen once per fork-join group above the
+// grain, never per element, so contention is unmeasurable next to the
+// base-case kernels.
+type deque struct {
+	mu sync.Mutex
+	q  []*wtask
+}
+
+func (d *deque) push(t *wtask) {
+	d.mu.Lock()
+	d.q = append(d.q, t)
+	d.mu.Unlock()
+}
+
+// pop removes and returns the newest task (owner end), or nil.
+func (d *deque) pop() *wtask {
+	d.mu.Lock()
+	n := len(d.q)
+	if n == 0 {
+		d.mu.Unlock()
+		return nil
+	}
+	t := d.q[n-1]
+	d.q[n-1] = nil
+	d.q = d.q[:n-1]
+	d.mu.Unlock()
+	return t
+}
+
+// stealMin removes and returns the oldest task whose fork depth is at
+// least min, or nil. Workers steal with min = 0 (plain FIFO); joins
+// steal with min = the awaited task's depth ("leapfrogging"), which
+// bounds the stack growth of helping: a join only ever executes tasks
+// at or below its own position in the fork tree.
+func (d *deque) stealMin(min int32) *wtask {
+	d.mu.Lock()
+	for i, t := range d.q {
+		if t.depth >= min {
+			copy(d.q[i:], d.q[i+1:])
+			d.q[len(d.q)-1] = nil
+			d.q = d.q[:len(d.q)-1]
+			d.mu.Unlock()
+			return t
+		}
+	}
+	d.mu.Unlock()
+	return nil
+}
+
+// Telemetry. The spawn-side pair is exhaustive and exclusive: every
+// Spawn call increments exactly one of par.spawn.pooled (enqueued on a
+// deque) or par.spawn.inline (ran on the caller by policy: one worker,
+// or fork depth at/past the cutoff). The execution-side trio is
+// exhaustive over pooled tasks: par.local (owner popped its own deque),
+// par.steal (taken FIFO by another worker), par.help (executed by a
+// goroutine waiting inside a join). Once every wait has returned,
+// par.local + par.steal + par.help == par.spawn.pooled exactly —
+// par_test.go asserts this, including across a SetWorkers resize.
+var (
+	pooledCount      = metrics.New("par.spawn.pooled")
+	inlineCount      = metrics.New("par.spawn.inline")
+	localSpawnCount  = metrics.New("par.spawn.local")
+	injectSpawnCount = metrics.New("par.spawn.inject")
+	localCount       = metrics.New("par.local")
+	stealCount       = metrics.New("par.steal")
+	helpCount        = metrics.New("par.help")
+)
+
+// depthBuckets is the number of exact per-worker depth-histogram
+// buckets; executions at depth >= depthBuckets-1 land in the last one.
+const depthBuckets = 5
+
+// workerCounters caches the lazily registered per-worker counters so a
+// SetWorkers resize (which recreates the worker set) reuses them
+// instead of tripping the duplicate-registration panic in metrics.New.
+var workerCounters struct {
+	mu sync.Mutex
+	m  map[string]*metrics.Counter
+}
+
+func namedCounter(name string) *metrics.Counter {
+	workerCounters.mu.Lock()
+	defer workerCounters.mu.Unlock()
+	if workerCounters.m == nil {
+		workerCounters.m = make(map[string]*metrics.Counter)
+	}
+	if c, ok := workerCounters.m[name]; ok {
+		return c
+	}
+	c := metrics.New(name)
+	workerCounters.m[name] = c
+	return c
+}
+
+// worker is one long-lived executor goroutine plus its deque.
+type worker struct {
+	rt    *scheduler
+	idx   int
+	dq    deque
+	seed  uint64
+	ctx   *gctx
+	tasks *metrics.Counter
+	// depth[k] counts executed tasks forked at depth k (last bucket:
+	// depth >= depthBuckets-1) — the per-worker depth histogram
+	// ("par.w<idx>.d<k>") that shows where in the fork tree each
+	// worker's share of the A/B/C/D recursion actually ran.
+	depth [depthBuckets]*metrics.Counter
+}
+
+// scheduler is one generation of the runtime: the worker set sized at
+// creation, its wake channel, and the depth cutoff. SetWorkers installs
+// a fresh generation; the old one drains its deques and retires (and
+// any task a retiring generation leaves behind is executed by its
+// joiner, so no fork is ever lost across a resize).
+type scheduler struct {
+	workers []*worker
+	wake    chan struct{} // capacity len(workers); wakeOne never blocks
+	stop    chan struct{}
+	cutoff  int32
+}
+
+var sched struct {
+	mu  sync.Mutex
+	cur atomic.Pointer[scheduler]
+	// procs is the GOMAXPROCS value the worker set was sized from, or 0
+	// when pinned by SetWorkers.
+	procs  atomic.Int64
+	pinned atomic.Bool
+	// cutoffOverride, when non-zero, replaces the automatic depth
+	// cutoff at the next (re)build. See SetDepthCutoff.
+	cutoffOverride atomic.Int32
+}
+
+func init() {
+	resize(defaultWorkers(), false)
+}
+
+func defaultWorkers() int { return gomaxprocs() }
+
+// resize installs a fresh scheduler generation with n workers. Racing
+// resizes serialize on sched.mu; the retiring generation is told to
+// stop and drains itself.
+func resize(n int, pin bool) {
+	if n < 1 {
+		n = 1
+	}
+	sched.mu.Lock()
+	defer sched.mu.Unlock()
+	old := sched.cur.Load()
+	rt := &scheduler{
+		workers: make([]*worker, n),
+		wake:    make(chan struct{}, n),
+		stop:    make(chan struct{}),
+		cutoff:  autoCutoff(n),
+	}
+	if o := sched.cutoffOverride.Load(); o > 0 {
+		rt.cutoff = o
+	}
+	for i := range rt.workers {
+		w := &worker{
+			rt:    rt,
+			idx:   i,
+			seed:  uint64(i)*0x9e3779b97f4a7c15 + 1,
+			tasks: namedCounter(fmt.Sprintf("par.w%d.tasks", i)),
+		}
+		for k := range w.depth {
+			w.depth[k] = namedCounter(fmt.Sprintf("par.w%d.d%d", i, k))
+		}
+		rt.workers[i] = w
+	}
+	sched.cur.Store(rt)
+	sched.pinned.Store(pin)
+	if pin {
+		sched.procs.Store(0)
+	} else {
+		sched.procs.Store(int64(n))
+	}
+	for _, w := range rt.workers {
+		go w.run()
+	}
+	if old != nil {
+		close(old.stop)
+	}
+}
+
+// autoCutoff picks the fork depth at which Spawn switches to inline
+// execution: ~log2(p) levels saturate p workers for the binary and
+// 4-ary forks of the Figure-6 schedules, and two extra levels keep
+// roughly 4-8x parallel slack for stealing to balance, after which
+// further forking only adds bookkeeping.
+func autoCutoff(workers int) int32 {
+	return int32(bits.Len(uint(workers)) + 2)
+}
+
+// current returns the live scheduler, first resizing when GOMAXPROCS
+// moved since the worker set was built (unless pinned).
+func current() *scheduler {
+	if !sched.pinned.Load() {
+		if p := int64(gomaxprocs()); p != sched.procs.Load() {
+			resize(int(p), false)
+		}
+	}
+	return sched.cur.Load()
+}
+
+// wakeOne nudges one parked worker; a full buffer means at least
+// len(workers) wakeups are already pending, so dropping is safe (every
+// woken worker rescans all deques before parking again).
+func (rt *scheduler) wakeOne() {
+	select {
+	case rt.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the worker main loop: pop own deque LIFO, else steal FIFO
+// from a random victim, else park until woken. On stop (a SetWorkers
+// resize) the worker drains every deque of its generation and exits.
+func (w *worker) run() {
+	id := goid()
+	w.ctx = &gctx{w: w}
+	registerCtx(id, w.ctx)
+	defer unregisterCtx(id)
+	for {
+		if t := w.dq.pop(); t != nil {
+			localCount.Inc()
+			w.exec(t)
+			continue
+		}
+		if t := w.rt.stealFor(w); t != nil {
+			stealCount.Inc()
+			w.exec(t)
+			continue
+		}
+		select {
+		case <-w.rt.wake:
+		case <-w.rt.stop:
+			for {
+				t := w.dq.pop()
+				if t != nil {
+					localCount.Inc()
+				} else if t = w.rt.stealFor(w); t != nil {
+					stealCount.Inc()
+				} else {
+					return
+				}
+				w.exec(t)
+			}
+		}
+	}
+}
+
+// stealFor scans the other workers' deques from a random start and
+// takes the oldest task of the first non-empty one.
+func (w *worker) rand() uint64 {
+	// xorshift64: per-worker, no locks, no global rand dependency.
+	w.seed ^= w.seed << 13
+	w.seed ^= w.seed >> 7
+	w.seed ^= w.seed << 17
+	return w.seed
+}
+
+func (rt *scheduler) stealFor(w *worker) *wtask {
+	n := len(rt.workers)
+	if n < 2 {
+		return nil
+	}
+	start := int(w.rand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := rt.workers[(start+i)%n]
+		if v == w {
+			continue
+		}
+		if t := v.dq.stealMin(0); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// injectSeed drives victim selection for spawns from goroutines that
+// are not workers (the initial call of an engine run).
+var injectSeed atomic.Uint64
+
+func injectVictim(rt *scheduler) *worker {
+	s := injectSeed.Add(0x9e3779b97f4a7c15)
+	return rt.workers[int(s%uint64(len(rt.workers)))]
+}
+
+// exec runs one task on a worker, recording the per-worker histogram
+// and keeping the goroutine's fork depth current for nested Spawns.
+func (w *worker) exec(t *wtask) {
+	w.tasks.Inc()
+	b := int(t.depth)
+	if b >= depthBuckets {
+		b = depthBuckets - 1
+	}
+	w.depth[b].Inc()
+	old := w.ctx.depth
+	w.ctx.depth = t.depth
+	runTask(t)
+	w.ctx.depth = old
+}
+
+// runTask executes the task body and always closes done, so joiners
+// are released even if the body panics (the panic then propagates on
+// the executing goroutine, exactly as the pre-runtime pool behaved).
+func runTask(t *wtask) {
+	defer close(t.done)
+	t.fn()
+}
+
+// stealMinFor scans every deque of this generation for a task forked
+// at depth >= min, used by joins: the awaited task itself always
+// qualifies, so when the scan comes up empty the awaited task is
+// already running somewhere and parking on its done channel is safe.
+func (rt *scheduler) stealMinFor(min int32, seed *uint64) *wtask {
+	n := len(rt.workers)
+	*seed ^= *seed << 13
+	*seed ^= *seed >> 7
+	*seed ^= *seed << 17
+	start := int(*seed % uint64(n))
+	for i := 0; i < n; i++ {
+		if t := rt.workers[(start+i)%n].dq.stealMin(min); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// join blocks until t completes, helping with pending work instead of
+// idling: first the caller's own deque (its freshest forks — the
+// depth-first order a serial run would take next), then any deque of
+// t's generation, restricted to tasks no shallower than t. When no
+// helpable task exists, t is provably running on some goroutine, and
+// join parks on its done channel.
+func (rt *scheduler) join(t *wtask) {
+	id := goid()
+	ctx := lookupCtx(id)
+	temp := false
+	if ctx == nil {
+		ctx = &gctx{}
+		registerCtx(id, ctx)
+		temp = true
+	}
+	seed := id*0x9e3779b97f4a7c15 + 0x6a09e667f3bcc909
+	for {
+		select {
+		case <-t.done:
+			if temp {
+				unregisterCtx(id)
+			}
+			return
+		default:
+		}
+		var h *wtask
+		if w := ctx.w; w != nil && w.rt == rt {
+			h = w.dq.pop()
+		}
+		if h == nil {
+			h = rt.stealMinFor(t.depth, &seed)
+		}
+		if h == nil {
+			<-t.done
+			if temp {
+				unregisterCtx(id)
+			}
+			return
+		}
+		helpCount.Inc()
+		old := ctx.depth
+		ctx.depth = h.depth
+		runTask(h)
+		ctx.depth = old
+	}
+}
