@@ -12,7 +12,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
-		"table1", "table2", "fig7a", "fig7b", "fig8", "fig9",
+		"table1", "table2", "fig7a", "fig7b", "ooc", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "incore", "scaling",
 		"ablation-base", "ablation-layout", "ablation-prune", "ablation-grain",
 		"lemma31", "bounds",

@@ -22,6 +22,11 @@ func init() {
 		Title: "Figure 7(b): out-of-core Floyd-Warshall I/O wait vs M/B (M fixed, B varied)",
 		Run:   runFig7b,
 	})
+	Register(Experiment{
+		Name:  "ooc",
+		Title: "Tile-granular out-of-core I-GEP: element path vs resident-tile kernels vs prefetch",
+		Run:   runOOCTiles,
+	})
 }
 
 // fwUpdate is the fused min-plus op over float64 (integer edge weights
@@ -36,7 +41,7 @@ var fwUpdate = core.MinPlus[float64]{}
 type oocAlgo struct {
 	name   string
 	layout ooc.LayoutFunc
-	run    func(s *ooc.Store, m *ooc.Matrix)
+	run    func(s *ooc.Store, m *ooc.Matrix) error
 }
 
 // oocAlgos are the four contenders of Figure 7: iterative GEP, I-GEP,
@@ -54,21 +59,25 @@ func oocAlgos(base int) []oocAlgo {
 	}
 	morton := ooc.MortonTiledLayout(minInt2(base, 32))
 	return []oocAlgo{
-		{"GEP", ooc.RowMajorLayout, func(s *ooc.Store, m *ooc.Matrix) {
+		{"GEP", ooc.RowMajorLayout, func(s *ooc.Store, m *ooc.Matrix) error {
 			core.RunGEP[float64](m, fwUpdate, core.Full{})
+			return s.Err()
 		}},
-		{"I-GEP", morton, func(s *ooc.Store, m *ooc.Matrix) {
+		{"I-GEP", morton, func(s *ooc.Store, m *ooc.Matrix) error {
 			core.RunIGEP[float64](m, fwUpdate, core.Full{}, core.WithBaseSize[float64](base))
+			return s.Err()
 		}},
-		{"C-GEP(4n^2)", morton, func(s *ooc.Store, m *ooc.Matrix) {
+		{"C-GEP(4n^2)", morton, func(s *ooc.Store, m *ooc.Matrix) error {
 			next := m.Bytes()
 			core.RunCGEP[float64](m, fwUpdate, core.Full{},
 				core.WithBaseSize[float64](base), core.WithAuxFactory[float64](newAux(s, &next)))
+			return s.Err()
 		}},
-		{"C-GEP(2n^2)", morton, func(s *ooc.Store, m *ooc.Matrix) {
+		{"C-GEP(2n^2)", morton, func(s *ooc.Store, m *ooc.Matrix) error {
 			next := m.Bytes()
 			core.RunCGEPCompact[float64](m, fwUpdate, core.Full{},
 				core.WithBaseSize[float64](base), core.WithAuxFactory[float64](newAux(s, &next)))
+			return s.Err()
 		}},
 	}
 }
@@ -86,18 +95,29 @@ func fwInput(n int, seed int64) *matrix.Dense[float64] {
 	return d
 }
 
-// runOOC executes one algorithm on a fresh store and reports counters.
-func runOOC(a oocAlgo, in *matrix.Dense[float64], pageSize int, cacheSize int64) (ooc.Stats, time.Duration, time.Duration, error) {
+// runOOC executes one algorithm on a fresh store and reports the I/O
+// counters, modeled disk wait, measured wall-clock time, and the
+// engine-counter delta of the run. Every error path propagates: setup,
+// load, the run itself (including the store's sticky element-path
+// error), and close.
+func runOOC(a oocAlgo, in *matrix.Dense[float64], pageSize int, cacheSize int64) (ooc.Stats, time.Duration, time.Duration, map[string]int64, error) {
 	s, err := ooc.Create("", ooc.Config{PageSize: pageSize, CacheSize: cacheSize})
 	if err != nil {
-		return ooc.Stats{}, 0, 0, err
+		return ooc.Stats{}, 0, 0, nil, err
 	}
-	defer s.Close()
 	m := ooc.NewMatrix(s, in.N(), 0, a.layout)
-	m.Load(in)
+	if err := m.Load(in); err != nil {
+		s.Close()
+		return ooc.Stats{}, 0, 0, nil, err
+	}
 	s.ResetStats()
-	wall := TimeIt(func() { a.run(s, m) })
-	return s.Stats(), s.IOTime(), wall, nil
+	var runErr error
+	wall, mets := TimeBestMetered(1, func() { runErr = a.run(s, m) })
+	st, ioWait := s.Stats(), s.IOTime()
+	if cerr := s.Close(); runErr == nil {
+		runErr = cerr
+	}
+	return st, ioWait, wall, mets, runErr
 }
 
 func runFig7a(w io.Writer, scale Scale) error {
@@ -116,11 +136,12 @@ func runFig7a(w io.Writer, scale Scale) error {
 	for _, frac := range []int{8, 4, 2, 1} { // M = matrix/8 .. matrix/1
 		cache := matBytes / int64(frac)
 		for _, a := range oocAlgos(base) {
-			st, ioWait, wall, err := runOOC(a, in, pageSize, cache)
+			st, ioWait, wall, mets, err := runOOC(a, in, pageSize, cache)
 			if err != nil {
 				return err
 			}
 			Record(Row{Engine: a.name, N: n, Param: fmt.Sprintf("M=1/%d", frac), Wall: wall,
+				Metrics: mets,
 				Extra: map[string]float64{
 					"page_reads":  float64(st.PageReads),
 					"page_writes": float64(st.PageWrites),
@@ -154,11 +175,12 @@ func runFig7b(w io.Writer, scale Scale) error {
 	t.Header("B", "M/B", "algorithm", "page reads", "page writes", "modeled I/O wait")
 	for _, b := range pageSizes {
 		for _, a := range oocAlgos(base) {
-			st, ioWait, _, err := runOOC(a, in, b, cache)
+			st, ioWait, _, mets, err := runOOC(a, in, b, cache)
 			if err != nil {
 				return err
 			}
 			Record(Row{Engine: a.name, N: n, Param: fmt.Sprintf("B=%d", b),
+				Metrics: mets,
 				Extra: map[string]float64{
 					"page_reads":  float64(st.PageReads),
 					"page_writes": float64(st.PageWrites),
@@ -173,6 +195,94 @@ func runFig7b(w io.Writer, scale Scale) error {
 	fmt.Fprintln(w, "\nExpected shape (paper): I/O wait grows roughly linearly with M/B for")
 	fmt.Fprintln(w, "all algorithms (more, smaller pages => more transfers at fixed volume),")
 	fmt.Fprintln(w, "with GEP far above I-GEP/C-GEP throughout.")
+	return nil
+}
+
+// runOOCTiles measures what the tile-granular runtime buys over the
+// element-at-a-time path on the same out-of-core I-GEP recursion: the
+// element engine calls ReadFloat/WriteFloat four times per update,
+// the tile engine runs the fused kernels on pinned resident quadrants,
+// and the prefetch variant additionally overlaps the next block's
+// reads (and all dirty write-backs) with compute. All three produce
+// bit-identical results; only staging differs.
+func runOOCTiles(w io.Writer, scale Scale) error {
+	type config struct {
+		n, tile, pageSize int
+		cache             int64
+	}
+	configs := []config{
+		{n: 256, tile: 32, pageSize: 4096, cache: 256 * 256 * 8 / 2},
+	}
+	if scale == Full {
+		// The acceptance configuration: n=2048 (32 MB matrix) against a
+		// 16 MB cache, 64 KB pages, 64-wide tiles.
+		configs = append(configs, config{n: 2048, tile: 64, pageSize: 1 << 16, cache: 16 << 20})
+	}
+	engines := []struct {
+		name string
+		run  func(tile int) func(s *ooc.Store, m *ooc.Matrix) error
+	}{
+		{"I-GEP(element)", func(tile int) func(s *ooc.Store, m *ooc.Matrix) error {
+			return func(s *ooc.Store, m *ooc.Matrix) error {
+				core.RunIGEP[float64](m, fwUpdate, core.Full{}, core.WithBaseSize[float64](tile))
+				return s.Err()
+			}
+		}},
+		{"I-GEP(tile)", func(int) func(s *ooc.Store, m *ooc.Matrix) error {
+			return func(s *ooc.Store, m *ooc.Matrix) error {
+				return ooc.RunIGEP(m, fwUpdate, core.Full{}, ooc.RunOptions{})
+			}
+		}},
+		{"I-GEP(tile+prefetch)", func(int) func(s *ooc.Store, m *ooc.Matrix) error {
+			return func(s *ooc.Store, m *ooc.Matrix) error {
+				return ooc.RunIGEP(m, fwUpdate, core.Full{}, ooc.RunOptions{Prefetch: true})
+			}
+		}},
+	}
+	for ci, c := range configs {
+		if ci > 0 {
+			fmt.Fprintln(w)
+		}
+		in := fwInput(c.n, 11)
+		matBytes := int64(c.n) * int64(c.n) * 8
+		fmt.Fprintf(w, "n=%d (matrix %d KB), B=%d B, M=%d KB, tile=%d\n\n",
+			c.n, matBytes>>10, c.pageSize, c.cache>>10, c.tile)
+		var t Table
+		t.Header("engine", "tile reads", "tile writes", "page reads", "modeled I/O wait", "wall time", "speedup")
+		var elementWall time.Duration
+		for _, e := range engines {
+			a := oocAlgo{e.name, ooc.MortonTiledLayout(c.tile), e.run(c.tile)}
+			st, ioWait, wall, mets, err := runOOC(a, in, c.pageSize, c.cache)
+			if err != nil {
+				return err
+			}
+			if elementWall == 0 {
+				elementWall = wall
+			}
+			speedup := float64(elementWall) / float64(wall)
+			Record(Row{Engine: e.name, N: c.n,
+				Param: fmt.Sprintf("B=%d,M=%dK,t=%d", c.pageSize, c.cache>>10, c.tile),
+				Wall:  wall, Metrics: mets,
+				Extra: map[string]float64{
+					"page_reads":         float64(st.PageReads),
+					"page_writes":        float64(st.PageWrites),
+					"tile_reads":         float64(st.TileReads),
+					"tile_writes":        float64(st.TileWrites),
+					"io_wait_ns":         float64(ioWait.Nanoseconds()),
+					"speedup_vs_element": speedup,
+				}})
+			t.Row(e.name, st.TileReads, st.TileWrites, st.PageReads, ioWait,
+				wall, fmt.Sprintf("%.1fx", speedup))
+		}
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "\nExpected shape: identical results and identical transfer volume at tile")
+	fmt.Fprintln(w, "granularity, but the tile engines replace four interface calls and a")
+	fmt.Fprintln(w, "page-cache probe per update with fused kernels over resident buffers —")
+	fmt.Fprintln(w, "an order of magnitude of wall time — and prefetch hides part of the")
+	fmt.Fprintln(w, "remaining read stalls behind compute.")
 	return nil
 }
 

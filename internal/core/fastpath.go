@@ -32,6 +32,9 @@ import "gep/internal/matrix"
 // dense, and the Grid-interface kernel otherwise. All three produce
 // bit-identical results (see ops.go and the differential tests).
 func baseCase[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *config[T], i0, j0, k0, s int) {
+	if cfg.baseHook != nil && cfg.baseHook(i0, j0, k0, s) {
+		return
+	}
 	if cfg.flatData != nil {
 		if cfg.blockOp != nil && cfg.blockOp.BlockKernel(cfg.flatData, cfg.flatStride, cfg.ranger, i0, j0, k0, s) {
 			kernelFusedCount.Inc()

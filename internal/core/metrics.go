@@ -17,6 +17,13 @@ var (
 	kernelFusedCount   = metrics.New("core.kernel.fused")
 	kernelFlatCount    = metrics.New("core.kernel.flat")
 	kernelGenericCount = metrics.New("core.kernel.generic")
+
+	// Tile base-case dispatches (TileKernel, the out-of-core path),
+	// split by the tier that ran: a fused closed-form kernel, the
+	// Ranger-hoisted loop, or the per-element Contains loop.
+	kernelTileFusedCount   = metrics.New("core.kernel.tile.fused")
+	kernelTileFlatCount    = metrics.New("core.kernel.tile.flat")
+	kernelTileGenericCount = metrics.New("core.kernel.tile.generic")
 )
 
 // parGroup executes tasks as one fork-join group: when parallel

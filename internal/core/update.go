@@ -75,6 +75,7 @@ type config[T any] struct {
 	grain    int
 	newAux   func(rows, cols int) matrix.Rect[T]
 	spawn    func(task func()) (wait func())
+	baseHook func(i0, j0, k0, s int) bool
 
 	// flatData/flatStride are the row-major backing of the grid when it
 	// is a *matrix.Dense[T] (flatData == nil otherwise); ranger is the
@@ -186,6 +187,21 @@ func WithParallel[T any](grain int) Option[T] {
 // obeys the same memory budget as the main matrix.
 func WithAuxFactory[T any](f func(rows, cols int) matrix.Rect[T]) Option[T] {
 	return func(c *config[T]) { c.newAux = f }
+}
+
+// WithBaseCase installs an external base-case executor: hook is called
+// for every base-case block (i0, j0, k0, s) before any built-in kernel
+// dispatch, and returning true consumes the block — the engine then
+// performs no accesses of its own for it. Returning false falls
+// through to the normal fused → flat → generic hierarchy.
+//
+// The hook exists for storage layers whose base cases want custom
+// staging: internal/ooc pins the block's tiles into RAM, runs
+// TileKernel over the resident buffers, and prefetches the next
+// block's tiles in the background. Pair it with WithBaseSize matched
+// to the storage tile side so blocks align with tiles.
+func WithBaseCase[T any](hook func(i0, j0, k0, s int) bool) Option[T] {
+	return func(c *config[T]) { c.baseHook = hook }
 }
 
 // WithSpawn replaces the goroutine spawner used by parallel execution.

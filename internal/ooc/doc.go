@@ -1,25 +1,53 @@
 // Package ooc provides the out-of-core substrate for the paper's
 // external-memory experiments (§4.1): a file-backed store of float64
-// values with an in-RAM page cache of configurable size M and page
-// (block) size B, LRU replacement and dirty write-back — the role
-// STXXL plays in the paper. Counters record every page transfer, and a
-// disk-time model calibrated to the paper's Fujitsu MAP3735NC drive
-// (10K RPM, 4.5 ms average seek, ~85 MB/s transfer) converts transfer
-// counts into the "I/O wait time" the paper plots in Figure 7.
+// values with an in-RAM cache of configurable size M, transfer
+// counters, and a disk-time model calibrated to the paper's Fujitsu
+// MAP3735NC drive (10K RPM, 4.5 ms average seek, ~85 MB/s transfer)
+// that converts transfer counts into the "I/O wait time" the paper
+// plots in Figure 7 — the role STXXL plays in the paper.
 //
-// The store is single-goroutine (the out-of-core algorithms are run
-// sequentially, as in the paper).
+// The store has two caching regimes over one backing file:
+//
+//   - The element regime: an LRU page cache of page (block) size B
+//     with dirty write-back, serving ReadFloat/WriteFloat one value at
+//     a time. Matrix/Rect/TiledRect adapt it to matrix.Grid[float64]
+//     and matrix.Rect[float64], so every unmodified internal/core
+//     engine runs out-of-core as-is.
+//   - The tile regime: whole aligned quadrants of a Morton-tiled
+//     matrix pinned into resident []float64 buffers
+//     (PinTile/UnpinTile), with best-effort background prefetch
+//     (PrefetchTile) and background write-back of evicted dirty tiles.
+//     RunIGEP drives I-GEP at this granularity, running the fused
+//     internal/core kernels directly on resident tiles; it is
+//     bit-identical to the element path and to the in-core engines,
+//     and one to two orders of magnitude faster than the element path.
+//
+// The two regimes are kept coherent conservatively: pinning a tile
+// flushes and drops the pages overlapping it, and an element access
+// while any tile state exists first syncs the tile cache (SyncTiles).
+// Background tasks run on the internal/par runtime, bounded by
+// Config.WriteBehind; the driver-facing API (element access, pin,
+// sync) must be used from one goroutine at a time.
+//
+// I/O failures never panic. APIs that can return errors do
+// (PinTile, SyncTiles, Flush, Close, RunIGEP, Load, Unload); the
+// element API, whose matrix.Grid signatures cannot, records the first
+// failure in the store's sticky error (Err), like bufio.Scanner. Every
+// raw transfer retries transient failures with exponential backoff
+// (Config.MaxRetries, Config.RetryBackoff), and Config.FaultEvery
+// injects deterministic failures for testing the error paths.
 //
 // Key types and entry points:
 //
-//   - Config / DefaultDisk / Store: the (M, B) cache geometry plus
-//     disk model, and the file-backed page cache itself; Stats and
-//     IOTime report the page-transfer counters and modeled disk time
-//     that feed the Figure 7 rows in BENCH_ooc.json.
+//   - Config / DefaultDisk / Store: the (M, B) cache geometry, disk
+//     model and failure policy, plus the store itself; Stats and
+//     IOTime report the transfer counters and modeled disk time that
+//     feed the Figure 7 rows in BENCH_ooc.json.
 //   - Matrix / NewMatrix with RowMajorLayout or MortonTiledLayout:
-//     a matrix.Grid[float64] view over the store, so the unmodified
-//     internal/core engines run out-of-core; Load/Unload move whole
-//     matrices across the RAM boundary.
+//     the Grid view over the store; Load/Unload move whole matrices
+//     across the RAM boundary; Tiling/PinTile/PrefetchTile expose the
+//     tile regime when the layout is tile-contiguous.
+//   - RunIGEP / RunOptions: the tile-granular I-GEP driver.
 //   - Rect / TiledRect: rectangular views used by C-GEP's auxiliary
-//     buffers and the tiled I-GEP variant.
+//     buffers.
 package ooc

@@ -1,0 +1,99 @@
+package ooc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Raw-transfer layer: every byte that moves between the store and its
+// backing file goes through readAt/writeAt, which add the two failure
+// policies of Config — deterministic fault injection (FaultEvery) in
+// front of the file, and bounded retry-with-backoff (MaxRetries,
+// RetryBackoff) behind every failure. Keeping the policies here means
+// the page cache, the tile cache, and the write-behind tasks all
+// inherit them without any per-call-site handling.
+
+// ErrInjected is the failure injected by Config.FaultEvery. Tests
+// match it with errors.Is to prove an injected disk fault propagated
+// through the full stack as an error.
+var ErrInjected = errors.New("ooc: injected I/O fault")
+
+// inject consumes one raw-transfer slot and reports whether this
+// transfer is scheduled to fail. The counter is atomic because
+// background tile transfers run concurrently with the driver.
+func (s *Store) inject() error {
+	if s.cfg.FaultEvery <= 0 {
+		return nil
+	}
+	if atomic.AddInt64(&s.ioOps, 1)%s.cfg.FaultEvery == 0 {
+		s.stats.injected.Add(1)
+		faultInjectedCount.Inc()
+		return ErrInjected
+	}
+	return nil
+}
+
+// retries returns the retry budget (0 when disabled).
+func (s *Store) retries() int {
+	if s.cfg.MaxRetries < 0 {
+		return 0
+	}
+	return s.cfg.MaxRetries
+}
+
+// backoff returns the wait before retry number attempt (0-based),
+// doubling per attempt and capped so a deep retry chain cannot stall a
+// run for seconds.
+func (s *Store) backoff(attempt int) time.Duration {
+	d := s.cfg.RetryBackoff << attempt
+	if d > maxRetryBackoff || d <= 0 {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// readAt fills buf from byte offset off, zero-filling past EOF (the
+// store's files are sparse: unwritten regions read as zero). Transient
+// failures are retried per the store's retry policy; exhaustion
+// returns the last error, wrapped with the offset.
+func (s *Store) readAt(buf []byte, off int64) error {
+	var nr int
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = s.inject(); err == nil {
+			nr, err = s.f.ReadAt(buf, off)
+			if err == nil || err == io.EOF {
+				break
+			}
+		}
+		if attempt >= s.retries() {
+			return fmt.Errorf("ooc: read %d bytes at %d: %w", len(buf), off, err)
+		}
+		s.stats.retries.Add(1)
+		retryCount.Inc()
+		time.Sleep(s.backoff(attempt))
+	}
+	clear(buf[nr:])
+	return nil
+}
+
+// writeAt writes buf at byte offset off with the same retry policy.
+func (s *Store) writeAt(buf []byte, off int64) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = s.inject(); err == nil {
+			if _, err = s.f.WriteAt(buf, off); err == nil {
+				return nil
+			}
+		}
+		if attempt >= s.retries() {
+			return fmt.Errorf("ooc: write %d bytes at %d: %w", len(buf), off, err)
+		}
+		s.stats.retries.Add(1)
+		retryCount.Inc()
+		time.Sleep(s.backoff(attempt))
+	}
+}

@@ -9,33 +9,71 @@ import (
 // Matrix is an n×n float64 matrix living in a Store; it implements
 // matrix.Grid[float64], so all GEP algorithms run on it unchanged —
 // the paper's point that the in-core cache-oblivious code works
-// out-of-core without modification.
+// out-of-core without modification. When its layout is tile-contiguous
+// (MortonTiledLayout), the tile API (PinTile/PrefetchTile) additionally
+// exposes whole aligned quadrants as resident flat buffers for the
+// tile-granular runtime of run.go.
 type Matrix struct {
-	s     *Store
-	n     int
-	base  int64
-	index func(i, j int) int64
+	s      *Store
+	n      int
+	base   int64
+	index  func(i, j int) int64
+	tiling *Tiling
 }
 
-// LayoutFunc maps cells to element indices; see RowMajorLayout and
-// MortonTiledLayout.
-type LayoutFunc func(n int) func(i, j int) int64
+// Layout is the resolved cell→element mapping of an n×n matrix.
+type Layout struct {
+	// Index maps cell (i, j) to its element index (units of 8 bytes)
+	// relative to the matrix base.
+	Index func(i, j int) int64
+	// Tile describes the layout's tile-contiguity when it has any:
+	// non-nil means every aligned Side×Side quadrant occupies one
+	// contiguous, row-major run of Side² elements. Element-contiguous
+	// layouts (row-major) leave it nil, and the tile API is unavailable.
+	Tile *Tiling
+}
 
-// RowMajorLayout stores rows contiguously.
-func RowMajorLayout(n int) func(i, j int) int64 {
-	return func(i, j int) int64 { return int64(i)*int64(n) + int64(j) }
+// Tiling is the tile geometry of a tile-contiguous layout.
+type Tiling struct {
+	// Side is the tile edge in elements.
+	Side int
+	// Index returns the element index of tile (ti, tj)'s first cell;
+	// the tile's Side² elements follow contiguously in row-major order.
+	Index func(ti, tj int) int64
+}
+
+// LayoutFunc instantiates a layout for a given matrix side; see
+// RowMajorLayout and MortonTiledLayout. A LayoutFunc must be reusable:
+// calling it for several sizes yields independent layouts.
+type LayoutFunc func(n int) Layout
+
+// RowMajorLayout stores rows contiguously. It has no tile structure.
+func RowMajorLayout(n int) Layout {
+	return Layout{
+		Index: func(i, j int) int64 { return int64(i)*int64(n) + int64(j) },
+	}
 }
 
 // MortonTiledLayout stores block×block tiles in Morton order with
-// row-major tiles, so recursive quadrants are contiguous on disk — the
-// natural external-memory layout for I-GEP.
+// row-major elements inside each tile, so recursive quadrants are
+// contiguous on disk — the natural external-memory layout for I-GEP.
+// The block size is clamped to the matrix side per instantiation (the
+// clamp is local to each call of the returned LayoutFunc, so one
+// LayoutFunc value is safely reusable across matrix sizes).
 func MortonTiledLayout(block int) LayoutFunc {
-	return func(n int) func(i, j int) int64 {
-		if n < block {
-			block = n
+	return func(n int) Layout {
+		b := block
+		if n < b {
+			b = n
 		}
-		t := matrix.NewTiled[struct{}](n, block)
-		return func(i, j int) int64 { return int64(t.Index(i, j)) }
+		t := matrix.NewTiled[struct{}](n, b)
+		return Layout{
+			Index: func(i, j int) int64 { return int64(t.Index(i, j)) },
+			Tile: &Tiling{
+				Side:  b,
+				Index: func(ti, tj int) int64 { return int64(t.Index(ti*b, tj*b)) },
+			},
+		}
 	}
 }
 
@@ -44,27 +82,54 @@ func NewMatrix(s *Store, n int, base int64, layout LayoutFunc) *Matrix {
 	if base%8 != 0 {
 		panic(fmt.Sprintf("ooc: base %d not 8-aligned", base))
 	}
-	return &Matrix{s: s, n: n, base: base, index: layout(n)}
+	l := layout(n)
+	return &Matrix{s: s, n: n, base: base, index: l.Index, tiling: l.Tile}
 }
 
 // N implements matrix.Grid.
 func (m *Matrix) N() int { return m.n }
 
-// At implements matrix.Grid.
+// At implements matrix.Grid. I/O failures surface via Store.Err.
 func (m *Matrix) At(i, j int) float64 {
 	return m.s.ReadFloat(m.base + m.index(i, j)*8)
 }
 
-// Set implements matrix.Grid.
+// Set implements matrix.Grid. I/O failures surface via Store.Err.
 func (m *Matrix) Set(i, j int, v float64) {
 	m.s.WriteFloat(m.base+m.index(i, j)*8, v)
 }
 
+// Store returns the backing store.
+func (m *Matrix) Store() *Store { return m.s }
+
 // Bytes returns the on-disk footprint of the matrix.
 func (m *Matrix) Bytes() int64 { return int64(m.n) * int64(m.n) * 8 }
 
-// Load copies a dense in-core matrix into the store.
-func (m *Matrix) Load(src *matrix.Dense[float64]) {
+// Tiling returns the matrix's tile geometry, or nil when its layout is
+// not tile-contiguous.
+func (m *Matrix) Tiling() *Tiling { return m.tiling }
+
+// TileOffset returns the byte offset of tile (ti, tj). The matrix must
+// have a tiling.
+func (m *Matrix) TileOffset(ti, tj int) int64 {
+	return m.base + m.tiling.Index(ti, tj)*8
+}
+
+// PinTile pins the tile containing cell block (ti·Side, tj·Side); see
+// Store.PinTile. The matrix must have a tiling.
+func (m *Matrix) PinTile(ti, tj int) (*Tile, error) {
+	return m.s.PinTile(m.TileOffset(ti, tj), m.tiling.Side)
+}
+
+// PrefetchTile starts a best-effort background read of tile (ti, tj);
+// see Store.PrefetchTile. The matrix must have a tiling.
+func (m *Matrix) PrefetchTile(ti, tj int) {
+	m.s.PrefetchTile(m.TileOffset(ti, tj), m.tiling.Side)
+}
+
+// Load copies a dense in-core matrix into the store. It panics if the
+// sizes differ (API misuse) and returns the store's first I/O error.
+func (m *Matrix) Load(src *matrix.Dense[float64]) error {
 	if src.N() != m.n {
 		panic("ooc: Load size mismatch")
 	}
@@ -74,17 +139,19 @@ func (m *Matrix) Load(src *matrix.Dense[float64]) {
 			m.Set(i, j, v)
 		}
 	}
+	return m.s.Err()
 }
 
-// Unload copies the matrix back into a fresh dense matrix.
-func (m *Matrix) Unload() *matrix.Dense[float64] {
+// Unload copies the matrix back into a fresh dense matrix, surfacing
+// the store's first I/O error.
+func (m *Matrix) Unload() (*matrix.Dense[float64], error) {
 	out := matrix.NewSquare[float64](m.n)
 	for i := 0; i < m.n; i++ {
 		for j := 0; j < m.n; j++ {
 			out.Set(i, j, m.At(i, j))
 		}
 	}
-	return out
+	return out, m.s.Err()
 }
 
 // Rect is a rows×cols float64 region of a Store in row-major order; it

@@ -1,0 +1,21 @@
+package ooc
+
+import "gep/internal/metrics"
+
+// Tile-runtime telemetry. Incremented at tile/transfer granularity
+// (never per element); internal/bench snapshots them around each
+// experiment so BENCH_ooc.json rows can report, e.g., the prefetch hit
+// rate or how often the pinned working set overcommitted the budget.
+var (
+	tileHitCount        = metrics.New("ooc.tile.hit")
+	tileFaultCount      = metrics.New("ooc.tile.fault")
+	tileOvercommitCount = metrics.New("ooc.tile.overcommit")
+
+	prefetchIssuedCount = metrics.New("ooc.prefetch.issued")
+	prefetchHitCount    = metrics.New("ooc.prefetch.hit")
+	prefetchSkipCount   = metrics.New("ooc.prefetch.skip")
+
+	writeBehindCount   = metrics.New("ooc.writebehind")
+	retryCount         = metrics.New("ooc.retry")
+	faultInjectedCount = metrics.New("ooc.fault.injected")
+)

@@ -111,8 +111,13 @@ func TestMatrixGridRoundTrip(t *testing.T) {
 		src := matrix.NewSquare[float64](16)
 		rng := rand.New(rand.NewSource(7))
 		src.Apply(func(i, j int, _ float64) float64 { return rng.Float64() })
-		m.Load(src)
-		back := m.Unload()
+		if err := m.Load(src); err != nil {
+			t.Fatal(err)
+		}
+		back, err := m.Unload()
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !back.EqualFunc(src, func(a, b float64) bool { return a == b }) {
 			t.Fatal("Load/Unload round trip failed")
 		}
@@ -150,7 +155,10 @@ func TestFloydWarshallOutOfCore(t *testing.T) {
 	s.ResetStats()
 	core.RunIGEP[float64](m, fw, core.Full{})
 	igepStats := s.Stats()
-	got := m.Unload()
+	got, err := m.Unload()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Integer edge weights: min-plus sums are exact in float64.
 	if !got.EqualFunc(want, func(a, b float64) bool { return a == b }) {
 		t.Fatal("out-of-core I-GEP Floyd-Warshall differs from in-core GEP")
@@ -193,7 +201,10 @@ func TestCGEPOutOfCoreWithFileBackedAux(t *testing.T) {
 		return r
 	}
 	core.RunCGEP[float64](m, f, core.Full{}, core.WithAuxFactory[float64](factory))
-	got := m.Unload()
+	got, err := m.Unload()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !got.EqualFunc(want, func(a, b float64) bool { return a == b }) {
 		t.Fatal("out-of-core C-GEP differs from in-core GEP")
 	}

@@ -1,0 +1,161 @@
+package ooc
+
+import (
+	"fmt"
+
+	"gep/internal/core"
+)
+
+// Tile-granular out-of-core I-GEP driver. The element path runs the
+// unmodified engines over the matrix.Grid interface — correct, but
+// every update pays four interface calls and a page-map probe. This
+// driver instead installs a core.WithBaseCase hook that, per base-case
+// block, pins the block's ≤4 aligned quadrant tiles into RAM and runs
+// core.TileKernel straight over the resident flat buffers (reaching
+// the same fused kernels the in-core engines use), while the store
+// prefetches the next blocks' tiles and writes evicted dirty tiles
+// back in the background. The I/O schedule still transfers exactly the
+// quadrants the I-GEP recursion touches, in recursion order, so the
+// §4.1 transfer accounting is unchanged — only the per-element CPU
+// overhead and the compute/transfer serialization go away.
+
+// RunOptions configures RunIGEP.
+type RunOptions struct {
+	// Prefetch enables background read-ahead of the next blocks' tiles
+	// (issued after each block's pins, bounded by the store's task
+	// pool; see Store.PrefetchTile for the best-effort semantics).
+	Prefetch bool
+	// Lookahead is how many upcoming blocks to prefetch tiles for
+	// (0 means the default of 2). Ignored unless Prefetch is set.
+	Lookahead int
+}
+
+// coordinate of a tile in the quadrant grid.
+type tcoord struct{ r, c int }
+
+// RunIGEP executes I-GEP with update op over the update set on m using
+// tile-granular I/O. m must use a tile-contiguous layout
+// (MortonTiledLayout); the base-case size is the layout's tile side.
+// Results are bit-identical to the in-core core.RunIGEP on the same
+// input. The first error from any layer — pin, kernel staging,
+// write-behind, final sync — aborts the remaining work (the recursion
+// still unwinds, but every subsequent block is consumed as a no-op)
+// and is returned.
+func RunIGEP(m *Matrix, op core.Op[float64], set core.UpdateSet, opts RunOptions) error {
+	tl := m.Tiling()
+	if tl == nil {
+		return fmt.Errorf("ooc: RunIGEP needs a tile-contiguous layout (use MortonTiledLayout)")
+	}
+	side := tl.Side
+	look := opts.Lookahead
+	if look <= 0 {
+		look = 2
+	}
+	var blocks []core.Block
+	if opts.Prefetch {
+		blocks = core.IGEPBlocks(m.N(), side, set, true)
+	}
+	pos := 0
+	var runErr error
+	hook := func(i0, j0, k0, s int) bool {
+		if runErr != nil {
+			pos++
+			return true
+		}
+		if s != side {
+			// Unreachable when side divides the (power-of-two) matrix
+			// side, which the layout guarantees; guarded for safety.
+			runErr = fmt.Errorf("ooc: base-case side %d does not match tile side %d", s, side)
+			pos++
+			return true
+		}
+		runErr = runBlock(m, op, set, i0, j0, k0, s)
+		pos++
+		if runErr == nil && opts.Prefetch {
+			for _, b := range lookaheadBlocks(blocks, pos, look) {
+				for _, cd := range blockTileCoords(b.I/side, b.J/side, b.K/side) {
+					m.PrefetchTile(cd.r, cd.c)
+				}
+			}
+		}
+		return true
+	}
+	core.RunIGEP[float64](m, op, set,
+		core.WithBaseSize[float64](side), core.WithBaseCase[float64](hook))
+	if err := m.s.SyncTiles(); runErr == nil {
+		runErr = err
+	}
+	if runErr == nil {
+		runErr = m.s.Err()
+	}
+	return runErr
+}
+
+// blockTileCoords lists the distinct quadrant tiles of base-case block
+// (ti, tj) with pivot tile row/column tk: X=(ti,tj), U=(ti,tk),
+// V=(tk,tj), W=(tk,tk), deduplicated, X first.
+func blockTileCoords(ti, tj, tk int) []tcoord {
+	coords := make([]tcoord, 0, 4)
+	for _, cd := range [4]tcoord{{ti, tj}, {ti, tk}, {tk, tj}, {tk, tk}} {
+		dup := false
+		for _, have := range coords {
+			if have == cd {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			coords = append(coords, cd)
+		}
+	}
+	return coords
+}
+
+// lookaheadBlocks returns the next n blocks at/after position pos.
+func lookaheadBlocks(blocks []core.Block, pos, n int) []core.Block {
+	if pos >= len(blocks) {
+		return nil
+	}
+	end := pos + n
+	if end > len(blocks) {
+		end = len(blocks)
+	}
+	return blocks[pos:end]
+}
+
+// runBlock pins the block's tiles, runs the tile kernel over the
+// resident buffers, and unpins (marking only the written X tile
+// dirty — the kernel writes no other quadrant; aliased quadrants share
+// the X tile, so their writes are covered).
+func runBlock(m *Matrix, op core.Op[float64], set core.UpdateSet, i0, j0, k0, s int) error {
+	ti, tj, tk := i0/s, j0/s, k0/s
+	coords := blockTileCoords(ti, tj, tk)
+	tiles := make([]*Tile, len(coords))
+	for n, cd := range coords {
+		t, err := m.PinTile(cd.r, cd.c)
+		if err != nil {
+			for _, p := range tiles[:n] {
+				m.s.UnpinTile(p, false)
+			}
+			return err
+		}
+		tiles[n] = t
+	}
+	pick := func(cd tcoord) *Tile {
+		for n, have := range coords {
+			if have == cd {
+				return tiles[n]
+			}
+		}
+		return nil
+	}
+	x := pick(tcoord{ti, tj})
+	u := pick(tcoord{ti, tk})
+	v := pick(tcoord{tk, tj})
+	w := pick(tcoord{tk, tk})
+	core.TileKernel(op, set, x.Data, u.Data, v.Data, w.Data, i0, j0, k0, s)
+	for n, t := range tiles {
+		m.s.UnpinTile(t, n == 0) // coords[0] is X
+	}
+	return nil
+}

@@ -3,26 +3,60 @@ package ooc
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
 	"math"
 	"os"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Config fixes the cache geometry and the disk model of a Store.
+// Config fixes the cache geometry, the disk model, and the failure
+// policy of a Store.
 type Config struct {
 	// PageSize is B, the block transfer size in bytes.
 	PageSize int
 	// CacheSize is M, the RAM budget in bytes; the store keeps at most
-	// CacheSize/PageSize pages resident.
+	// CacheSize/PageSize pages resident, and the tile cache (tile.go)
+	// keeps at most CacheSize bytes of unpinned tiles resident.
 	CacheSize int64
-	// SeekTime is charged per page transfer (default 4.5 ms, the
-	// paper's disk).
+	// SeekTime is charged per transfer (default 4.5 ms, the paper's
+	// disk).
 	SeekTime time.Duration
 	// TransferRate in bytes/second (default 85 MB/s, mid-range of the
 	// paper's disk's 64.1-107.86 MB/s).
 	TransferRate float64
+
+	// MaxRetries is how many times a failed raw transfer is retried
+	// before the error propagates to the caller (0 means the default of
+	// 3; negative disables retries). Each retry sleeps RetryBackoff,
+	// doubling per attempt.
+	MaxRetries int
+	// RetryBackoff is the initial wait before the first retry (0 means
+	// the default of 100 µs).
+	RetryBackoff time.Duration
+
+	// FaultEvery, when positive, makes every FaultEvery-th raw disk
+	// transfer fail with ErrInjected before touching the file. It is the
+	// fault-injection hook the error-path tests use to prove that I/O
+	// failures surface as errors — never panics or hangs — through every
+	// layer (page cache, tile cache, write-behind, engines). Zero
+	// disables injection.
+	FaultEvery int64
+
+	// WriteBehind bounds the number of concurrently in-flight background
+	// tile write-backs (0 means the default of 4; negative forces
+	// synchronous write-back). Each in-flight write pins one tile-sized
+	// buffer beyond CacheSize, so the worst-case RAM overshoot is
+	// WriteBehind tiles.
+	WriteBehind int
 }
+
+const (
+	defaultMaxRetries   = 3
+	defaultRetryBackoff = 100 * time.Microsecond
+	defaultWriteBehind  = 4
+	maxRetryBackoff     = 50 * time.Millisecond
+)
 
 // DefaultDisk is the paper's Fujitsu MAP3735NC model.
 func DefaultDisk() Config {
@@ -34,15 +68,39 @@ func DefaultDisk() Config {
 	}
 }
 
-// Stats are the I/O counters of a Store.
+// Stats is a snapshot of the I/O counters of a Store.
 type Stats struct {
 	PageReads  int64 // pages faulted in from disk
 	PageWrites int64 // dirty pages written back
-	Hits       int64 // accesses served from the page cache
-	Faults     int64 // accesses that required a page read
+	Hits       int64 // element accesses served from the page cache
+	Faults     int64 // element accesses that required a page read
+	TileReads  int64 // whole tiles faulted into the tile cache
+	TileWrites int64 // dirty tiles written back
+	Retries    int64 // raw transfers retried after a failure
+	Injected   int64 // failures injected by Config.FaultEvery
 }
 
-// Store is a file-backed float64 array with an LRU page cache.
+// storeStats holds the live counters. Atomics, because background
+// write-behind and prefetch tasks count their transfers concurrently
+// with the driver goroutine.
+type storeStats struct {
+	pageReads, pageWrites, hits, faults atomic.Int64
+	tileReads, tileWrites               atomic.Int64
+	tileBytesRead, tileBytesWritten     atomic.Int64
+	retries, injected                   atomic.Int64
+}
+
+// Store is a file-backed float64 array with two caching regimes: an
+// LRU page cache serving the element API (ReadFloat/WriteFloat, the
+// matrix.Grid path), and a tile cache (tile.go) serving whole-quadrant
+// Pin/Prefetch for the tile-granular out-of-core runtime. The two are
+// kept coherent: pinning a tile flushes and drops the pages it
+// overlaps, and any element access while tiles are resident first
+// syncs the tile cache back to disk.
+//
+// The element API and the tile API must be driven from one goroutine
+// (the engine's); the store's own background tasks (prefetch reads,
+// write-behind) are internally synchronized.
 type Store struct {
 	f       *os.File
 	own     bool // file created by us, remove on Close
@@ -52,7 +110,14 @@ type Store struct {
 	pages      map[int64]*page
 	head, tail *page // MRU at head
 
-	stats Stats
+	ioOps int64 // raw-transfer counter driving FaultEvery (atomic)
+
+	stats storeStats
+
+	errMu sync.Mutex
+	err   error // first I/O error observed (sticky; see Err)
+
+	tc tileCache
 }
 
 type page struct {
@@ -78,116 +143,221 @@ func Create(dir string, cfg Config) (*Store, error) {
 	if cfg.TransferRate == 0 {
 		cfg.TransferRate = 85e6
 	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = defaultRetryBackoff
+	}
+	if cfg.WriteBehind == 0 {
+		cfg.WriteBehind = defaultWriteBehind
+	}
 	f, err := os.CreateTemp(dir, "gep-ooc-*.dat")
 	if err != nil {
 		return nil, fmt.Errorf("ooc: %w", err)
 	}
-	return &Store{
+	s := &Store{
 		f:       f,
 		own:     true,
 		cfg:     cfg,
 		maxPage: maxPage,
 		pages:   make(map[int64]*page, maxPage+1),
-	}, nil
+	}
+	s.tc.init(cfg)
+	return s, nil
 }
 
-// Config returns the store's configuration.
+// Config returns the store's configuration (with defaults resolved).
 func (s *Store) Config() Config { return s.cfg }
 
-// Stats returns the current I/O counters.
-func (s *Store) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the I/O counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		PageReads:  s.stats.pageReads.Load(),
+		PageWrites: s.stats.pageWrites.Load(),
+		Hits:       s.stats.hits.Load(),
+		Faults:     s.stats.faults.Load(),
+		TileReads:  s.stats.tileReads.Load(),
+		TileWrites: s.stats.tileWrites.Load(),
+		Retries:    s.stats.retries.Load(),
+		Injected:   s.stats.injected.Load(),
+	}
+}
 
 // ResetStats zeroes the counters (cache contents are kept).
-func (s *Store) ResetStats() { s.stats = Stats{} }
+func (s *Store) ResetStats() { s.stats = storeStats{} }
 
 // IOTime returns the modeled disk time for the transfers counted so
-// far: every page transfer pays one seek plus PageSize/TransferRate.
+// far: every transfer — page or tile — pays one seek plus its size
+// over the transfer rate.
 func (s *Store) IOTime() time.Duration {
-	n := s.stats.PageReads + s.stats.PageWrites
-	transfer := float64(n) * float64(s.cfg.PageSize) / s.cfg.TransferRate
-	return time.Duration(n)*s.cfg.SeekTime + time.Duration(transfer*float64(time.Second))
+	pages := s.stats.pageReads.Load() + s.stats.pageWrites.Load()
+	tiles := s.stats.tileReads.Load() + s.stats.tileWrites.Load()
+	bytes := float64(pages)*float64(s.cfg.PageSize) +
+		float64(s.stats.tileBytesRead.Load()+s.stats.tileBytesWritten.Load())
+	transfer := bytes / s.cfg.TransferRate
+	return time.Duration(pages+tiles)*s.cfg.SeekTime + time.Duration(transfer*float64(time.Second))
+}
+
+// Err returns the first I/O error the store has observed, from any
+// path: a failed element access (whose API cannot return errors — the
+// matrix.Grid contract), a failed background write-back, or a failed
+// prefetch. It is sticky, like (*bufio.Scanner).Err: the first error
+// is kept (an individual failed read returns 0, a failed write is
+// dropped, and later accesses still proceed normally), so callers
+// check Err once after a run rather than after every access.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// setErr records err as the sticky error if none is recorded yet.
+func (s *Store) setErr(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
 }
 
 // ReadFloat returns the float64 stored at byte offset off (8-aligned).
-// Unwritten regions read as zero.
+// Unwritten regions read as zero. On I/O failure it returns 0 and
+// records the error for Err.
 func (s *Store) ReadFloat(off int64) float64 {
-	p := s.fault(off / int64(s.cfg.PageSize))
+	if err := s.syncForElement(); err != nil {
+		s.setErr(err)
+		return 0
+	}
+	p, err := s.fault(off / int64(s.cfg.PageSize))
+	if err != nil {
+		s.setErr(err)
+		return 0
+	}
 	bits := binary.LittleEndian.Uint64(p.data[off%int64(s.cfg.PageSize):])
 	return math.Float64frombits(bits)
 }
 
-// WriteFloat stores v at byte offset off (8-aligned).
+// WriteFloat stores v at byte offset off (8-aligned). On I/O failure
+// the write is dropped and the error recorded for Err.
 func (s *Store) WriteFloat(off int64, v float64) {
-	p := s.fault(off / int64(s.cfg.PageSize))
+	if err := s.syncForElement(); err != nil {
+		s.setErr(err)
+		return
+	}
+	p, err := s.fault(off / int64(s.cfg.PageSize))
+	if err != nil {
+		s.setErr(err)
+		return
+	}
 	binary.LittleEndian.PutUint64(p.data[off%int64(s.cfg.PageSize):], math.Float64bits(v))
 	p.dirty = true
 }
 
 // fault returns the resident page id, loading and evicting as needed.
-func (s *Store) fault(id int64) *page {
+// Eviction is failure-atomic: the victim leaves the cache only after
+// its dirty data is safely on disk, so a failed write-back loses
+// nothing — the victim stays resident and dirty, and the error
+// propagates.
+func (s *Store) fault(id int64) (*page, error) {
 	if p, ok := s.pages[id]; ok {
-		s.stats.Hits++
+		s.stats.hits.Add(1)
 		s.moveToFront(p)
-		return p
+		return p, nil
 	}
-	s.stats.Faults++
-	// Evict LRU page first so the buffer can be reused.
+	s.stats.faults.Add(1)
 	var buf []byte
 	if len(s.pages) >= s.maxPage {
 		victim := s.tail
+		if victim.dirty {
+			if err := s.writePage(victim); err != nil {
+				return nil, err
+			}
+		}
 		s.unlink(victim)
 		delete(s.pages, victim.id)
-		if victim.dirty {
-			s.writePage(victim)
-		}
 		buf = victim.data
 	} else {
 		buf = make([]byte, s.cfg.PageSize)
 	}
 	p := &page{id: id, data: buf}
-	s.readPage(p)
+	if err := s.readPage(p); err != nil {
+		return nil, err
+	}
 	s.pages[id] = p
 	s.pushFront(p)
-	return p
+	return p, nil
 }
 
-func (s *Store) readPage(p *page) {
-	s.stats.PageReads++
-	nr, err := s.f.ReadAt(p.data, p.id*int64(s.cfg.PageSize))
-	if err == io.EOF || (err == nil && nr < len(p.data)) {
-		for i := nr; i < len(p.data); i++ {
-			p.data[i] = 0
-		}
-		return
-	}
-	if err != nil {
-		panic(fmt.Sprintf("ooc: read page %d: %v", p.id, err))
-	}
+func (s *Store) readPage(p *page) error {
+	s.stats.pageReads.Add(1)
+	return s.readAt(p.data, p.id*int64(s.cfg.PageSize))
 }
 
-func (s *Store) writePage(p *page) {
-	s.stats.PageWrites++
-	if _, err := s.f.WriteAt(p.data, p.id*int64(s.cfg.PageSize)); err != nil {
-		panic(fmt.Sprintf("ooc: write page %d: %v", p.id, err))
+func (s *Store) writePage(p *page) error {
+	s.stats.pageWrites.Add(1)
+	if err := s.writeAt(p.data, p.id*int64(s.cfg.PageSize)); err != nil {
+		return err
 	}
 	p.dirty = false
+	return nil
 }
 
-// Flush writes back every dirty resident page.
-func (s *Store) Flush() {
+// Flush writes back every dirty resident page. It attempts every page
+// and returns the first error.
+func (s *Store) Flush() error {
+	var first error
 	for p := s.head; p != nil; p = p.next {
 		if p.dirty {
-			s.writePage(p)
+			if err := s.writePage(p); err != nil && first == nil {
+				first = err
+			}
 		}
 	}
+	return first
 }
 
-// Close flushes, closes and (for stores we created) removes the
-// backing file.
+// dropPages flushes and evicts every resident page overlapping the
+// byte range [off, off+n) — the page half of the page/tile coherence
+// protocol: before a tile is faulted in, no page may hold a newer or
+// soon-stale copy of its bytes.
+func (s *Store) dropPages(off, n int64) error {
+	if n <= 0 || len(s.pages) == 0 {
+		return nil
+	}
+	ps := int64(s.cfg.PageSize)
+	for id := off / ps; id <= (off+n-1)/ps; id++ {
+		p, ok := s.pages[id]
+		if !ok {
+			continue
+		}
+		if p.dirty {
+			if err := s.writePage(p); err != nil {
+				return err
+			}
+		}
+		s.unlink(p)
+		delete(s.pages, id)
+	}
+	return nil
+}
+
+// Close flushes both caches, closes, and (for stores we created)
+// removes the backing file. It returns the first error of the
+// flush → close → remove sequence; a flush failure does not stop the
+// close and removal.
 func (s *Store) Close() error {
-	s.Flush()
+	err := s.SyncTiles()
+	if ferr := s.Flush(); err == nil {
+		err = ferr
+	}
 	name := s.f.Name()
-	err := s.f.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
 	if s.own {
 		if rmErr := os.Remove(name); err == nil {
 			err = rmErr

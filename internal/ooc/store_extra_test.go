@@ -20,8 +20,14 @@ func TestDefaultDiskIsUsable(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer s.Close()
-	if got := s.Config(); got != cfg {
-		t.Fatalf("Config() = %+v, want %+v", got, cfg)
+	got := s.Config()
+	if got.PageSize != cfg.PageSize || got.CacheSize != cfg.CacheSize ||
+		got.SeekTime != cfg.SeekTime || got.TransferRate != cfg.TransferRate {
+		t.Fatalf("Config() = %+v, want cache geometry and disk model of %+v", got, cfg)
+	}
+	if got.MaxRetries != defaultMaxRetries || got.RetryBackoff != defaultRetryBackoff ||
+		got.WriteBehind != defaultWriteBehind {
+		t.Fatalf("Create did not default the failure policy: %+v", got)
 	}
 	if cfg.SeekTime != 4500*time.Microsecond || cfg.TransferRate != 85e6 {
 		t.Fatalf("DefaultDisk drifted from the paper's disk model: %+v", cfg)
@@ -191,7 +197,10 @@ func TestLoadUnloadRoundTrip(t *testing.T) {
 	if m.N() != n || m.Bytes() != n*n*8 {
 		t.Fatalf("N=%d Bytes=%d", m.N(), m.Bytes())
 	}
-	out := m.Unload()
+	out, err := m.Unload()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !src.EqualFunc(out, func(a, b float64) bool { return a == b }) {
 		t.Fatal("Unload differs from Load input")
 	}

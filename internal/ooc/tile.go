@@ -1,0 +1,414 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gep/internal/par"
+)
+
+// Tile-granular caching: the second, coarser regime of the store. The
+// element API moves one float at a time through the page cache — four
+// interface calls and a page-map probe per GEP update. The tile API
+// instead faults whole aligned quadrants (one contiguous byte run in a
+// Morton-tiled layout) into resident []float64 buffers that the fused
+// kernels of internal/core run on directly, then writes dirty tiles
+// back in the background while the engine computes the next block.
+//
+// Transfer accounting is at tile granularity: one TileRead/TileWrite
+// (one modeled seek plus size/rate, see Store.IOTime) per tile moved,
+// mirroring §4.1's accounting of one block transfer per block moved —
+// overlapping the transfer with compute changes wall-clock time, not
+// the transfer count, so the Figure 7 I/O-complexity story is
+// unchanged by the asynchrony.
+//
+// Coherence with the page cache is conservative and simple, because
+// the two regimes never interleave finely in practice (tiles during a
+// run, elements during Load/Unload/verification): pinning or
+// prefetching a tile first flushes and drops every page overlapping
+// its bytes, and any element access while tiles are resident first
+// runs SyncTiles.
+
+// Tile is a pinned, resident quadrant of a store: Side()² float64
+// values in row-major order in Data. A Tile is valid between the
+// PinTile that returned it and the matching UnpinTile; the runtime
+// layer (run.go) and the kernels mutate Data in place.
+type Tile struct {
+	off  int64 // byte offset of the quadrant in the store
+	side int   // edge length in elements
+
+	// Data holds the resident elements, row-major, len side².
+	Data []float64
+
+	dirty      bool
+	pins       int
+	loading    *pendingIO // in-flight background read, nil once resident
+	prefetched bool       // inserted by PrefetchTile, for hit accounting
+	prev, next *Tile      // LRU links while resident and unpinned
+}
+
+// Side returns the tile's edge length in elements.
+func (t *Tile) Side() int { return t.side }
+
+// bytes returns the tile's resident size.
+func (t *Tile) bytes() int64 { return int64(len(t.Data)) * 8 }
+
+// pendingIO tracks one background task. wait joins it (executing it
+// in-place if it is still queued, so a join can never hang on a
+// stranded task); err is written by the task before it completes, so
+// reading it after wait() is race-free.
+type pendingIO struct {
+	wait func()
+	err  error
+}
+
+// tileCache is the tile half of a Store. All fields are owned by the
+// driver goroutine; background tasks touch only their own buffers, the
+// store's atomic counters, and the err field of their own pendingIO.
+type tileCache struct {
+	budget      int64 // resident-byte budget (Config.CacheSize)
+	writeBehind int   // in-flight cap; <= 0 means synchronous
+
+	tiles      map[int64]*Tile
+	head, tail *Tile // unpinned-LRU, MRU at head
+	bytes      int64 // resident bytes, pinned and unpinned
+
+	pending  map[int64]*pendingIO // in-flight write-backs by offset
+	inflight chan struct{}        // slots shared by write-behind and prefetch
+	waits    []func()             // joins for every task spawned since the last sync
+}
+
+func (c *tileCache) init(cfg Config) {
+	c.budget = cfg.CacheSize
+	c.writeBehind = cfg.WriteBehind
+	c.tiles = make(map[int64]*Tile)
+	c.pending = make(map[int64]*pendingIO)
+	if cfg.WriteBehind > 0 {
+		c.inflight = make(chan struct{}, cfg.WriteBehind)
+	}
+}
+
+func (c *tileCache) pushLRU(t *Tile) {
+	t.next = c.head
+	if c.head != nil {
+		c.head.prev = t
+	}
+	c.head = t
+	if c.tail == nil {
+		c.tail = t
+	}
+}
+
+func (c *tileCache) unlinkLRU(t *Tile) {
+	if t.prev != nil {
+		t.prev.next = t.next
+	} else {
+		c.head = t.next
+	}
+	if t.next != nil {
+		t.next.prev = t.prev
+	} else {
+		c.tail = t.prev
+	}
+	t.prev, t.next = nil, nil
+}
+
+// PinTile faults the side×side quadrant at byte offset off into a
+// resident tile and pins it. Pins nest; every PinTile needs a matching
+// UnpinTile. Pinned tiles are never evicted, so a caller holding the
+// ≤4 tiles of one base-case block may exceed the cache budget
+// transiently (counted by the ooc.tile.overcommit metric).
+func (s *Store) PinTile(off int64, side int) (*Tile, error) {
+	if t, ok := s.tc.tiles[off]; ok {
+		if t.side != side {
+			return nil, fmt.Errorf("ooc: tile at %d pinned with side %d, resident with side %d", off, side, t.side)
+		}
+		if err := s.finishLoad(t); err != nil {
+			s.tc.drop(t)
+			return nil, err
+		}
+		if t.prefetched {
+			t.prefetched = false
+			prefetchHitCount.Inc()
+		}
+		if t.pins == 0 {
+			s.tc.unlinkLRU(t)
+		}
+		t.pins++
+		tileHitCount.Inc()
+		return t, nil
+	}
+	tileFaultCount.Inc()
+	size := int64(side) * int64(side) * 8
+	if err := s.waitPending(off); err != nil {
+		return nil, err
+	}
+	if err := s.dropPages(off, size); err != nil {
+		return nil, err
+	}
+	if err := s.makeRoom(size); err != nil {
+		return nil, err
+	}
+	t := &Tile{off: off, side: side, Data: make([]float64, side*side), pins: 1}
+	if err := s.readTile(t); err != nil {
+		return nil, err
+	}
+	s.tc.tiles[off] = t
+	s.tc.bytes += size
+	return t, nil
+}
+
+// UnpinTile releases one pin; dirty reports whether the caller wrote
+// Data. The tile stays resident (and, once unpinned, evictable — at
+// which point a dirty tile is written back in the background).
+func (s *Store) UnpinTile(t *Tile, dirty bool) {
+	if t.pins <= 0 {
+		panic("ooc: UnpinTile without matching PinTile")
+	}
+	if dirty {
+		t.dirty = true
+	}
+	t.pins--
+	if t.pins == 0 {
+		s.tc.pushLRU(t)
+	}
+}
+
+// PrefetchTile starts a background read of the quadrant at off so a
+// later PinTile finds it resident. It is speculative and best-effort:
+// it never blocks on a full task pool and never evicts resident data
+// to make room — when either would be needed, the prefetch is skipped
+// (counted by ooc.prefetch.skip). Failures are equally silent; the
+// eventual PinTile re-reads synchronously and reports them.
+func (s *Store) PrefetchTile(off int64, side int) {
+	if s.tc.writeBehind <= 0 {
+		return // asynchrony disabled
+	}
+	if _, ok := s.tc.tiles[off]; ok {
+		return
+	}
+	if _, ok := s.tc.pending[off]; ok {
+		return // our own write-back is still in flight
+	}
+	size := int64(side) * int64(side) * 8
+	if s.tc.bytes+size > s.tc.budget {
+		prefetchSkipCount.Inc()
+		return
+	}
+	if err := s.dropPages(off, size); err != nil {
+		s.setErr(err)
+		return
+	}
+	select {
+	case s.tc.inflight <- struct{}{}:
+	default:
+		prefetchSkipCount.Inc()
+		return
+	}
+	p := &pendingIO{}
+	t := &Tile{off: off, side: side, Data: make([]float64, side*side), loading: p, prefetched: true}
+	s.tc.tiles[off] = t
+	s.tc.bytes += size
+	s.tc.pushLRU(t)
+	p.wait = par.Spawn(func() {
+		defer func() { <-s.tc.inflight }()
+		p.err = s.readTile(t)
+	})
+	s.tc.waits = append(s.tc.waits, p.wait)
+	prefetchIssuedCount.Inc()
+}
+
+// finishLoad joins a tile's in-flight prefetch read, if any.
+func (s *Store) finishLoad(t *Tile) error {
+	if t.loading == nil {
+		return nil
+	}
+	t.loading.wait()
+	err := t.loading.err
+	t.loading = nil
+	return err
+}
+
+// drop removes an unpinned resident tile without writing it back
+// (used when its contents are known invalid, e.g. a failed prefetch).
+func (c *tileCache) drop(t *Tile) {
+	if t.pins == 0 {
+		c.unlinkLRU(t)
+	}
+	delete(c.tiles, t.off)
+	c.bytes -= t.bytes()
+}
+
+// waitPending joins an in-flight write-back of the byte range at off,
+// surfacing its error.
+func (s *Store) waitPending(off int64) error {
+	p, ok := s.tc.pending[off]
+	if !ok {
+		return nil
+	}
+	p.wait()
+	delete(s.tc.pending, off)
+	return p.err
+}
+
+// makeRoom evicts unpinned, fully-loaded LRU tiles until need bytes
+// fit in the budget; dirty victims are written back in the background.
+// When every resident tile is pinned or loading, the caller overcommits
+// instead (pinned tiles can never be evicted).
+func (s *Store) makeRoom(need int64) error {
+	c := &s.tc
+	for c.bytes+need > c.budget {
+		victim := c.tail
+		for victim != nil && victim.loading != nil {
+			victim = victim.prev
+		}
+		if victim == nil {
+			tileOvercommitCount.Inc()
+			return nil
+		}
+		c.unlinkLRU(victim)
+		delete(c.tiles, victim.off)
+		c.bytes -= victim.bytes()
+		if victim.dirty {
+			if err := s.writeBehindTile(victim); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeBehindTile schedules the evicted tile's write-back. The tile is
+// already out of the cache, so the background task owns its buffer
+// exclusively. With asynchrony disabled the write happens inline.
+func (s *Store) writeBehindTile(t *Tile) error {
+	if s.tc.writeBehind <= 0 {
+		return s.writeTile(t)
+	}
+	for {
+		select {
+		case s.tc.inflight <- struct{}{}:
+		default:
+			// Task pool full: join the oldest outstanding task — the
+			// join executes it in place if it is still queued — and
+			// retry. This bounds the driver's RAM overshoot to
+			// WriteBehind tiles without ever blocking on an idle pool
+			// (every slot holder is in waits, so draining always frees
+			// a slot eventually).
+			s.drainOne()
+			continue
+		}
+		break
+	}
+	p := &pendingIO{}
+	s.tc.pending[t.off] = p
+	p.wait = par.Spawn(func() {
+		defer func() { <-s.tc.inflight }()
+		if err := s.writeTile(t); err != nil {
+			p.err = err
+			s.setErr(err)
+		}
+	})
+	s.tc.waits = append(s.tc.waits, p.wait)
+	writeBehindCount.Inc()
+	return nil
+}
+
+// drainOne joins the oldest outstanding background task.
+func (s *Store) drainOne() {
+	if len(s.tc.waits) == 0 {
+		return
+	}
+	s.tc.waits[0]()
+	s.tc.waits = s.tc.waits[1:]
+}
+
+// SyncTiles drains every background task, writes every dirty unpinned
+// resident tile back, and evicts all unpinned tiles, returning the
+// first error of the whole drain. After a successful SyncTiles the
+// backing file plus the page cache hold the complete current state, so
+// the element API reads coherently. Tiles still pinned stay resident
+// and are NOT written (their Data may be mid-update); the runtime
+// never syncs with pins outstanding.
+func (s *Store) SyncTiles() error {
+	var first error
+	for _, w := range s.tc.waits {
+		w()
+	}
+	s.tc.waits = s.tc.waits[:0]
+	for off, p := range s.tc.pending {
+		if p.err != nil && first == nil {
+			first = p.err
+		}
+		delete(s.tc.pending, off)
+	}
+	for off, t := range s.tc.tiles {
+		if t.pins > 0 {
+			continue
+		}
+		if t.loading != nil {
+			// Prefetch joined above; a failed one leaves the tile
+			// invalid but clean — dropping it is the whole cleanup.
+			t.loading = nil
+			t.dirty = false
+		}
+		if t.dirty {
+			if err := s.writeTile(t); err != nil && first == nil {
+				first = err
+			}
+		}
+		delete(s.tc.tiles, off)
+		s.tc.bytes -= t.bytes()
+	}
+	s.tc.head, s.tc.tail = nil, nil
+	for _, t := range s.tc.tiles { // pinned survivors keep LRU out
+		t.prev, t.next = nil, nil
+	}
+	return first
+}
+
+// syncForElement keeps the element API coherent with the tile cache:
+// if any tile state exists, it is synced to disk first. The common
+// in-core-style workload (no tiles) pays only three length checks.
+func (s *Store) syncForElement() error {
+	if len(s.tc.tiles) == 0 && len(s.tc.pending) == 0 && len(s.tc.waits) == 0 {
+		return nil
+	}
+	return s.SyncTiles()
+}
+
+// ResidentTiles returns the number of tiles currently resident.
+func (s *Store) ResidentTiles() int { return len(s.tc.tiles) }
+
+// readTile fills t.Data from disk (one modeled tile transfer).
+func (s *Store) readTile(t *Tile) error {
+	n := len(t.Data) * 8
+	buf := make([]byte, n)
+	if err := s.readAt(buf, t.off); err != nil {
+		return err
+	}
+	for i := range t.Data {
+		t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	s.stats.tileReads.Add(1)
+	s.stats.tileBytesRead.Add(int64(n))
+	return nil
+}
+
+// writeTile writes t.Data to disk (one modeled tile transfer) and
+// marks the tile clean.
+func (s *Store) writeTile(t *Tile) error {
+	n := len(t.Data) * 8
+	buf := make([]byte, n)
+	for i, v := range t.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if err := s.writeAt(buf, t.off); err != nil {
+		return err
+	}
+	s.stats.tileWrites.Add(1)
+	s.stats.tileBytesWritten.Add(int64(n))
+	t.dirty = false
+	return nil
+}
