@@ -65,8 +65,17 @@ type Grid[T any] = matrix.Grid[T]
 type Matrix[T any] = matrix.Dense[T]
 
 // Option configures the recursive engines; see WithBaseSize,
-// WithPrune and WithParallel.
+// WithPrune, WithParallel and WithTableWidth.
 type Option[T any] = core.Option[T]
+
+// BitMatrix is a dense boolean matrix packed 64 cells per machine
+// word. It implements Grid[bool], so every engine runs on it
+// unchanged; the boolean-semiring and GF(2) ops (ClosureOp,
+// GF2ElimOp) additionally dispatch word-parallel kernels — 64 cells
+// per instruction — and a four-Russians table base case over it. See
+// TransitiveClosurePacked, SolveGF2 and RankGF2 for packed
+// applications.
+type BitMatrix = matrix.Bits
 
 // Standard update sets.
 var (
@@ -85,6 +94,15 @@ func Predicate(pred func(i, j, k int) bool) UpdateSet {
 
 // NewMatrix returns a zero-initialized n×n matrix.
 func NewMatrix[T any](n int) *Matrix[T] { return matrix.NewSquare[T](n) }
+
+// NewBitMatrix returns a zero-initialized n×n packed boolean matrix.
+func NewBitMatrix(n int) *BitMatrix { return matrix.NewBitsSquare(n) }
+
+// PackMatrix converts a boolean matrix to packed form.
+func PackMatrix(m *Matrix[bool]) *BitMatrix { return matrix.PackBool(m) }
+
+// UnpackMatrix converts a packed matrix back to element-wise form.
+func UnpackMatrix(b *BitMatrix) *Matrix[bool] { return matrix.UnpackBool(b) }
 
 // FromRows builds a matrix from rows, copying the data.
 func FromRows[T any](rows [][]T) *Matrix[T] { return matrix.FromRows(rows) }
@@ -109,6 +127,11 @@ func WithPrune[T any](on bool) Option[T] { return core.WithPrune[T](on) }
 // recursive calls down to the given grain.
 func WithParallel[T any](grain int) Option[T] { return core.WithParallel[T](grain) }
 
+// WithTableWidth sets the four-Russians table width for engine runs
+// over a BitMatrix (0 disables the table kernel; default 8). It is
+// ignored for element-wise storage.
+func WithTableWidth[T any](tw int) Option[T] { return core.WithTableWidth[T](tw) }
+
 // MinPlusOp returns the fused min-plus update
 // (Floyd-Warshall: x ← min(x, u+v)).
 func MinPlusOp[T Real]() Op[T] { return core.MinPlus[T]{} }
@@ -126,8 +149,16 @@ func GaussElimOp[T Real]() Op[T] { return core.GaussElim[T]{} }
 func LUFactorOp[T Real]() Op[T] { return core.LUFactor[T]{} }
 
 // ClosureOp returns the fused boolean-semiring update
-// (transitive closure: x ← x ∨ (u ∧ v)).
+// (transitive closure: x ← x ∨ (u ∧ v)). On a BitMatrix it runs
+// word-parallel with a four-Russians base case.
 func ClosureOp() Op[bool] { return core.Closure{} }
+
+// GF2ElimOp returns the GF(2) Gaussian-elimination update
+// (x ← x ⊕ (u ∧ v)), applied over GaussianSet. On a BitMatrix it runs
+// word-parallel with a four-Russians base case. Like GaussElimOp it
+// assumes elimination is possible without pivoting; for general GF(2)
+// systems use SolveGF2 / RankGF2, which pivot.
+func GF2ElimOp() Op[bool] { return core.GF2Elim{} }
 
 // Iterative runs the classic GEP loop nest (the paper's G).
 func Iterative[T any](c Grid[T], op Op[T], set UpdateSet) {
@@ -262,6 +293,39 @@ func Determinant(a *Matrix[float64]) float64 { return linalg.Determinant(a) }
 // holds edge presence; afterwards reach[i][j] reports whether j is
 // reachable from i. Any side length is accepted.
 func TransitiveClosure(reach *Matrix[bool]) { apsp.TransitiveClosure(reach) }
+
+// TransitiveClosureParallel is TransitiveClosure on goroutines
+// (multithreaded I-GEP on the work-stealing runtime); bit-identical to
+// the serial path at every worker count. Any side length is accepted.
+func TransitiveClosureParallel(reach *Matrix[bool]) {
+	apsp.ClosureParallel(reach, 64)
+}
+
+// TransitiveClosurePacked is TransitiveClosure over packed storage:
+// word-parallel row unions plus the four-Russians table base case,
+// typically tens of times faster than the element-wise path and
+// bit-for-bit equal to it. Any side length is accepted.
+func TransitiveClosurePacked(reach *BitMatrix) {
+	apsp.TransitiveClosurePacked(reach, -1)
+}
+
+// TransitiveClosurePackedParallel is TransitiveClosurePacked on
+// goroutines. reach must be word-aligned (true for any matrix from
+// NewBitMatrix or PackMatrix; only mid-word sub-views are not).
+func TransitiveClosurePackedParallel(reach *BitMatrix) {
+	apsp.ClosurePackedParallel(reach, -1, 64)
+}
+
+// SolveGF2 solves A·x = b over GF(2) (XOR linear systems) with
+// partial pivoting, word-parallel; a is not modified. ok is false
+// exactly when the system is inconsistent; free variables of
+// underdetermined systems are set to false.
+func SolveGF2(a *BitMatrix, b []bool) (x []bool, ok bool) {
+	return linalg.SolveGF2(a, b)
+}
+
+// RankGF2 returns the rank of a over GF(2); a is not modified.
+func RankGF2(a *BitMatrix) int { return linalg.RankGF2(a) }
 
 // MatrixChain returns the minimal scalar-multiplication count and an
 // optimal parenthesization for multiplying matrices with the given

@@ -19,19 +19,50 @@ func TransitiveClosure(reach *matrix.Dense[bool]) {
 	if n == 0 {
 		return
 	}
-	for i := 0; i < n; i++ {
-		reach.Set(i, i, true)
-	}
+	forceDiag(reach, n)
 	if matrix.IsPow2(n) {
 		core.RunIGEP[bool](reach, core.Closure{}, core.Full{})
 		return
 	}
-	p := matrix.PadPow2(reach, false)
-	for i := n; i < p.N(); i++ {
-		p.Set(i, i, true)
-	}
+	// PadPow2Diag forces the padded diagonal in the same pass as the
+	// pad, and the result is cropped directly back into reach through a
+	// Sub view — one padded allocation, one copy back, no Crop clone.
+	p := matrix.PadPow2Diag(reach, false, true)
 	core.RunIGEP[bool](p, core.Closure{}, core.Full{})
 	reach.CopyFrom(p.Sub(0, 0, n, n))
+}
+
+// ClosureParallel is TransitiveClosure through the multithreaded
+// A/B/C/D recursion (Figure 6) on the work-stealing runtime
+// (internal/par). RunABCD refines the same partial order as RunIGEP,
+// so the output is bit-identical to TransitiveClosure at every worker
+// count. grain is the subproblem side below which recursion runs
+// serially.
+func ClosureParallel(reach *matrix.Dense[bool], grain int) {
+	n := reach.N()
+	if n == 0 {
+		return
+	}
+	forceDiag(reach, n)
+	run := func(m *matrix.Dense[bool]) {
+		core.RunABCD[bool](m, core.Closure{}, core.Full{},
+			core.WithParallel[bool](grain))
+	}
+	if matrix.IsPow2(n) {
+		run(reach)
+		return
+	}
+	p := matrix.PadPow2Diag(reach, false, true)
+	run(p)
+	reach.CopyFrom(p.Sub(0, 0, n, n))
+}
+
+// forceDiag sets the first n diagonal cells true (every vertex reaches
+// itself).
+func forceDiag(reach *matrix.Dense[bool], n int) {
+	for i := 0; i < n; i++ {
+		reach.Set(i, i, true)
+	}
 }
 
 // Reachability returns the closure matrix of g without modifying it.

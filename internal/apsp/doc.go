@@ -18,7 +18,13 @@
 //     oracles used by the tests to validate every Floyd-Warshall
 //     variant, including graphs with negative edges.
 //   - TransitiveClosure, Reachability, SCC, CondensationDAG:
-//     closure-semiring instances of the same GEP computation.
+//     closure-semiring instances of the same GEP computation;
+//     ClosureParallel runs the bool closure on the A/B/C/D schedule.
+//   - TransitiveClosurePacked / ClosurePackedParallel /
+//     (*Graph).ReachabilityPacked: the same closure over bit-packed
+//     matrix.Bits storage — 64 cells per word through the
+//     word-parallel and four-Russians kernels (DESIGN.md §13),
+//     bit-identical to the bool path.
 //   - Path / PathWeight, Eccentricities / DiameterRadius: path
 //     reconstruction and the derived graph metrics reported by the
 //     harness.

@@ -13,7 +13,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig7a", "fig7b", "ooc", "fig8", "fig9",
-		"fig10", "fig11", "fig12", "incore", "scaling",
+		"fig10", "fig11", "fig12", "incore", "scaling", "gf2",
 		"ablation-base", "ablation-layout", "ablation-prune", "ablation-grain",
 		"lemma31", "bounds",
 	}

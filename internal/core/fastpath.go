@@ -35,6 +35,13 @@ func baseCase[T any](c matrix.Grid[T], f UpdateFunc[T], set UpdateSet, cfg *conf
 	if cfg.baseHook != nil && cfg.baseHook(i0, j0, k0, s) {
 		return
 	}
+	if cfg.bits != nil {
+		if cfg.bitsOp != nil && cfg.bitsOp.BitsKernel(cfg.bits, cfg.ranger, cfg.tableWidth, i0, j0, k0, s) {
+			return
+		}
+		igepKernel(c, f, set, i0, j0, k0, s)
+		return
+	}
 	if cfg.flatData != nil {
 		if cfg.blockOp != nil && cfg.blockOp.BlockKernel(cfg.flatData, cfg.flatStride, cfg.ranger, i0, j0, k0, s) {
 			kernelFusedCount.Inc()

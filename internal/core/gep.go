@@ -21,6 +21,17 @@ import (
 func RunGEP[T any](c matrix.Grid[T], op Op[T], set UpdateSet) {
 	n := c.N()
 	f := op.Func()
+	if bb, ok := any(c).(*matrix.Bits); ok {
+		// Packed fast path: the whole matrix as one word-parallel base
+		// case (the four-Russians path never applies here — the block
+		// overlaps its own k-range — so the table width is moot).
+		if bk, ok := op.(BitsKerneler); ok {
+			rg, _ := set.(Ranger)
+			if bk.BitsKernel(bb, rg, 0, 0, 0, 0, n) {
+				return
+			}
+		}
+	}
 	if data, stride, ok := matrix.Flat[T](c); ok {
 		// Flat fast path: G is exactly the base-case kernel applied to
 		// the whole matrix (see fastpath.go); outputs are identical.

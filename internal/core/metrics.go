@@ -24,6 +24,13 @@ var (
 	kernelTileFusedCount   = metrics.New("core.kernel.tile.fused")
 	kernelTileFlatCount    = metrics.New("core.kernel.tile.flat")
 	kernelTileGenericCount = metrics.New("core.kernel.tile.generic")
+
+	// Packed base-case dispatches (bits.go), split by the tier that
+	// ran: the plain word-parallel kernel or the four-Russians table
+	// kernel. Packed blocks that decline both (no Ranger bound) fall
+	// through to the generic path and count under core.kernel.generic.
+	kernelBitsWordCount = metrics.New("core.kernel.bits.word")
+	kernelBitsM4RICount = metrics.New("core.kernel.bits.m4ri")
 )
 
 // parGroup executes tasks as one fork-join group: when parallel

@@ -86,6 +86,14 @@ type config[T any] struct {
 	flatStride int
 	ranger     Ranger
 	blockOp    BlockKerneler[T]
+
+	// bits/bitsOp bind the packed fast path when the grid is a
+	// *matrix.Bits (T = bool only) and the op provides a word-parallel
+	// kernel; tableWidth is the four-Russians group width in bits
+	// (0 disables the table path).
+	bits       *matrix.Bits
+	bitsOp     BitsKerneler
+	tableWidth int
 }
 
 // bindFast resolves the fast-path hooks for one run: flat storage via
@@ -97,6 +105,10 @@ type config[T any] struct {
 func (c *config[T]) bindFast(g matrix.Grid[T], set UpdateSet, op Op[T]) {
 	if data, stride, ok := matrix.Flat[T](g); ok {
 		c.flatData, c.flatStride = data, stride
+	}
+	if bb, ok := any(g).(*matrix.Bits); ok {
+		c.bits = bb
+		c.bitsOp, _ = op.(BitsKerneler)
 	}
 	c.ranger, _ = set.(Ranger)
 	if c.flatData != nil {
@@ -113,24 +125,29 @@ const autoBaseSize = 64
 // resolveBaseSize replaces the baseSize == 0 "auto" sentinel with the
 // tuned kernel size when the flat or fused path bound and with 1 (the
 // pure recursion of Figures 2 and 3) otherwise, so wrapper grids keep
-// their exact per-update semantics.
+// their exact per-update semantics. Packed grids with a word kernel
+// bound use the larger packed default (see autoBaseSizeBits).
 func (c *config[T]) resolveBaseSize(flat bool) {
 	if c.baseSize != 0 {
 		return
 	}
-	if flat {
+	switch {
+	case c.bits != nil && c.bitsOp != nil:
+		c.baseSize = autoBaseSizeBits
+	case flat:
 		c.baseSize = autoBaseSize
-	} else {
+	default:
 		c.baseSize = 1
 	}
 }
 
 func defaultConfig[T any]() config[T] {
 	return config[T]{
-		baseSize: 0, // auto: resolveBaseSize picks 64 (flat) or 1
-		prune:    true,
-		parallel: false,
-		grain:    64,
+		baseSize:   0, // auto: resolveBaseSize picks 512 (packed), 64 (flat) or 1
+		prune:      true,
+		parallel:   false,
+		grain:      64,
+		tableWidth: defaultTableWidth,
 		newAux: func(rows, cols int) matrix.Rect[T] {
 			return matrix.New[T](rows, cols)
 		},
@@ -157,6 +174,22 @@ func WithBaseSize[T any](b int) Option[T] {
 		panic("core: base size must be >= 1")
 	}
 	return func(c *config[T]) { c.baseSize = b }
+}
+
+// WithTableWidth sets the four-Russians group width in bits for the
+// packed base case: source rows are processed tw at a time through a
+// 2^tw-entry row-combination table (see internal/core/bits.go). 0
+// disables the table path entirely, leaving the plain word-parallel
+// kernel; the default is 8. The option is meaningful only for runs
+// over a *matrix.Bits grid with a BitsKerneler op and is ignored
+// otherwise. Whatever the width, the crossover test m4riWins still
+// gates the table path per block, so small base cases never pay for
+// table construction.
+func WithTableWidth[T any](tw int) Option[T] {
+	if tw < 0 || tw > 16 {
+		panic("core: table width must be in [0, 16]")
+	}
+	return func(c *config[T]) { c.tableWidth = tw }
 }
 
 // WithPrune enables or disables the line-1 quadrant pruning test

@@ -25,4 +25,12 @@
 //     the denominator.
 //   - Factor / SolveLU / Determinant / Invert: the consumers that make
 //     the LU output useful and testable against known identities.
+//   - GaussGF2Fused / GaussGF2FusedParallel: unpivoted elimination
+//     over GF(2) on bit-packed matrix.Bits storage, driven through
+//     the core engines' word-parallel and four-Russians kernels
+//     (DESIGN.md §13).
+//   - SolveGF2 / RankGF2 / MulVecGF2: pivoted GF(2) consumers —
+//     partial pivoting is outside GEP's fixed update set, so these
+//     run a direct word-parallel Gauss-Jordan RREF on the packed
+//     rows.
 package linalg

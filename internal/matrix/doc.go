@@ -22,6 +22,13 @@
 //     assertion and keep the generic path.
 //   - Tiled[T] (morton.go): the paper's bit-interleaved tiled layout
 //     (§4.2), with FromDense/ToDense conversion.
+//   - Bits (bits.go): bit-packed boolean matrices, 64 cells per
+//     uint64 word, with mid-word Sub views, masked row spans
+//     (RowSpan/Bits64), and PackBool/UnpackBool conversion. Bits is
+//     itself a Grid[bool]/Rect[bool], so every engine runs on it
+//     generically; the word-parallel kernels in internal/core are a
+//     fast path on top (DESIGN.md §13).
 //   - PadPow2 / Crop (pad.go): the power-of-two padding the recursive
-//     algorithms require (the paper assumes n = 2^q).
+//     algorithms require (the paper assumes n = 2^q); PadBitsPow2 is
+//     the packed counterpart.
 package matrix
