@@ -27,8 +27,8 @@
 // threshold ratio (default 1.5).
 //
 // Experiments: table1 table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12
-// incore scaling ablation-base ablation-layout ablation-prune
-// ablation-grain lemma31 bounds.
+// ooc incore scaling gf2 serve ablation-base ablation-layout
+// ablation-prune ablation-grain lemma31 bounds.
 package main
 
 import (

@@ -1,0 +1,84 @@
+// Command gep-server runs the GEP job service: an HTTP API over the
+// in-core engines where each job executes on its own isolated
+// par.Runtime (internal/serve, DESIGN.md §14). Endpoints are
+// documented in docs/API.md and operational guidance — sizing the
+// worker budgets, admission tuning, metrics scraping, shutdown — in
+// docs/OPERATIONS.md.
+//
+// Usage:
+//
+//	gep-server [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT       listen address (default :8080)
+//	-max-queue N          queued-job bound before 429 (default 64)
+//	-max-concurrent N     jobs running at once (default 2)
+//	-workers-per-job N    default per-job worker budget (default 2)
+//	-max-workers N        cap on a job's requested budget (default 2×workers-per-job)
+//	-max-n N              largest accepted problem side (default 4096)
+//	-deadline D           default per-job deadline (default 60s)
+//	-shutdown-timeout D   drain budget on SIGINT/SIGTERM before
+//	                      in-flight jobs are aborted (default 30s)
+//
+// On SIGINT or SIGTERM the server stops admitting jobs, drains the
+// queue and whatever is running, and only aborts still-running jobs
+// once the shutdown timeout expires.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gep/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxQueue := flag.Int("max-queue", 64, "queued-job bound before submissions get 429")
+	maxConcurrent := flag.Int("max-concurrent", 2, "jobs running at once")
+	workersPerJob := flag.Int("workers-per-job", 2, "default per-job worker budget")
+	maxWorkers := flag.Int("max-workers", 0, "cap on a job's requested worker budget (0 = 2x workers-per-job)")
+	maxN := flag.Int("max-n", 4096, "largest accepted problem side")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-job deadline")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "drain budget before in-flight jobs are aborted")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		QueueDepth:      *maxQueue,
+		MaxConcurrent:   *maxConcurrent,
+		DefaultWorkers:  *workersPerJob,
+		MaxWorkers:      *maxWorkers,
+		DefaultDeadline: *deadline,
+		MaxN:            *maxN,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "gep-server listening on %s (%d concurrent jobs x %d workers)\n",
+		*addr, srv.Config().MaxConcurrent, srv.Config().DefaultWorkers)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "gep-server: %v\n", err)
+		os.Exit(1)
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "gep-server: %v, draining (up to %v)\n", s, *shutdownTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "gep-server: drain incomplete, in-flight jobs aborted: %v\n", err)
+	}
+	hs.Shutdown(context.Background())
+}

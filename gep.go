@@ -21,7 +21,12 @@
 //
 // Parallel executes the multithreaded recursion of the paper
 // (span O(n log² n)); Multiply, FloydWarshall and Factorize expose the
-// tuned application kernels.
+// tuned application kernels. Parallel execution runs on a
+// work-stealing fork-join scheduler: by default one process-wide
+// instance sized by GOMAXPROCS, or — for callers hosting concurrent
+// computations that must not contend for workers — per-computation
+// instances created with NewRuntime and selected with WithRuntime
+// (cmd/gep-server serves every job on its own instance this way).
 //
 // Matrices are addressed through the Grid interface, so the same
 // engines run over in-core matrices, cache simulators and out-of-core
@@ -35,6 +40,7 @@ import (
 	"gep/internal/dp"
 	"gep/internal/linalg"
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // UpdateFunc is the GEP update f. It receives the indices ⟨i,j,k⟩ and
@@ -126,6 +132,25 @@ func WithPrune[T any](on bool) Option[T] { return core.WithPrune[T](on) }
 // WithParallel enables goroutine execution of Parallel's independent
 // recursive calls down to the given grain.
 func WithParallel[T any](grain int) Option[T] { return core.WithParallel[T](grain) }
+
+// Runtime is one instance of the work-stealing fork-join scheduler the
+// parallel engines run on. The engines default to a process-wide
+// shared instance sized by GOMAXPROCS; NewRuntime creates additional
+// isolated instances, each with its own worker budget and telemetry
+// scope, so concurrent computations in one process (the jobs of
+// cmd/gep-server, tenants of an embedding application) cannot occupy
+// each other's workers. Pass an instance to the engines with
+// WithRuntime, and release its workers with Close when done.
+type Runtime = par.Runtime
+
+// NewRuntime returns an isolated scheduler instance with the given
+// worker budget (workers <= 0 sizes it from GOMAXPROCS and tracks it).
+// Close it when done; see Runtime.
+func NewRuntime(workers int) *Runtime { return par.NewRuntime(workers) }
+
+// WithRuntime confines the parallel recursion's forks to rt (nil =
+// the shared default runtime). Combine with WithParallel.
+func WithRuntime[T any](rt *Runtime) Option[T] { return core.WithRuntime[T](rt) }
 
 // WithTableWidth sets the four-Russians table width for engine runs
 // over a BitMatrix (0 disables the table kernel; default 8). It is

@@ -3,6 +3,7 @@ package apsp
 import (
 	"gep/internal/core"
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // Transitive closure (Warshall's algorithm): the boolean-semiring
@@ -39,6 +40,12 @@ func TransitiveClosure(reach *matrix.Dense[bool]) {
 // count. grain is the subproblem side below which recursion runs
 // serially.
 func ClosureParallel(reach *matrix.Dense[bool], grain int) {
+	ClosureParallelOn(nil, reach, grain)
+}
+
+// ClosureParallelOn is ClosureParallel with all forks confined to rt
+// (nil = the default runtime).
+func ClosureParallelOn(rt *par.Runtime, reach *matrix.Dense[bool], grain int) {
 	n := reach.N()
 	if n == 0 {
 		return
@@ -46,7 +53,7 @@ func ClosureParallel(reach *matrix.Dense[bool], grain int) {
 	forceDiag(reach, n)
 	run := func(m *matrix.Dense[bool]) {
 		core.RunABCD[bool](m, core.Closure{}, core.Full{},
-			core.WithParallel[bool](grain))
+			core.WithParallel[bool](grain), core.WithRuntime[bool](rt))
 	}
 	if matrix.IsPow2(n) {
 		run(reach)

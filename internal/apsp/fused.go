@@ -3,6 +3,7 @@ package apsp
 import (
 	"gep/internal/core"
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // FWFused runs Floyd-Warshall through the generic RunIGEP engine with
@@ -20,6 +21,13 @@ func FWFused(d *matrix.Dense[float64], base int) {
 // RunABCD refines the same partial order as RunIGEP, so the output is
 // bit-identical to FWFused at every worker count.
 func FWFusedParallel(d *matrix.Dense[float64], base, grain int) {
+	FWFusedParallelOn(nil, d, base, grain)
+}
+
+// FWFusedParallelOn is FWFusedParallel with all forks confined to rt
+// (nil = the default runtime).
+func FWFusedParallelOn(rt *par.Runtime, d *matrix.Dense[float64], base, grain int) {
 	core.RunABCD[float64](d, core.MinPlus[float64]{}, core.Full{},
-		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain),
+		core.WithRuntime[float64](rt))
 }

@@ -66,12 +66,18 @@ func FWIGEP(d *matrix.Dense[float64], base int) {
 	if base < 1 {
 		base = 1
 	}
-	fwRec(d, 0, 0, 0, n, base, 0)
+	fwRec(d, 0, 0, 0, n, base, 0, nil)
 }
 
 // FWParallel is multithreaded I-GEP Floyd-Warshall (the A/B/C/D
 // parallel structure of Figure 6) spawning goroutines down to grain.
 func FWParallel(d *matrix.Dense[float64], base, grain int) {
+	FWParallelOn(nil, d, base, grain)
+}
+
+// FWParallelOn is FWParallel with all forks confined to rt (nil = the
+// default runtime).
+func FWParallelOn(rt *par.Runtime, d *matrix.Dense[float64], base, grain int) {
 	n := d.N()
 	if n == 0 {
 		return
@@ -85,12 +91,13 @@ func FWParallel(d *matrix.Dense[float64], base, grain int) {
 	if grain < base {
 		grain = base
 	}
-	fwRec(d, 0, 0, 0, n, base, grain)
+	fwRec(d, 0, 0, 0, n, base, grain, par.Or(rt))
 }
 
 // fwRec is the Floyd-Warshall-specialized I-GEP recursion; grain = 0
-// runs serially.
-func fwRec(d *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
+// runs serially, otherwise parallel groups fork on rt (nil is allowed
+// only when grain = 0).
+func fwRec(d *matrix.Dense[float64], xi, xj, k0, s, base, grain int, rt *par.Runtime) {
 	if s <= base {
 		fwKernel(d, xi, xj, k0, s)
 		return
@@ -103,7 +110,7 @@ func fwRec(d *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
 			f2()
 			return
 		}
-		par.Do(f1, f2)
+		rt.Do(f1, f2)
 	}
 	run4 := func(fs ...func()) {
 		if !parOn {
@@ -112,46 +119,46 @@ func fwRec(d *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
 			}
 			return
 		}
-		par.Do(fs...)
+		rt.Do(fs...)
 	}
 	iK, jK := xi == k0, xj == k0
 	switch {
 	case iK && jK: // A
-		fwRec(d, xi, xj, k0, h, base, grain)
-		run2(func() { fwRec(d, xi, xj+h, k0, h, base, grain) },
-			func() { fwRec(d, xi+h, xj, k0, h, base, grain) })
-		fwRec(d, xi+h, xj+h, k0, h, base, grain)
-		fwRec(d, xi+h, xj+h, k0+h, h, base, grain)
-		run2(func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) },
-			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) })
-		fwRec(d, xi, xj, k0+h, h, base, grain)
+		fwRec(d, xi, xj, k0, h, base, grain, rt)
+		run2(func() { fwRec(d, xi, xj+h, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj, k0, h, base, grain, rt) })
+		fwRec(d, xi+h, xj+h, k0, h, base, grain, rt)
+		fwRec(d, xi+h, xj+h, k0+h, h, base, grain, rt)
+		run2(func() { fwRec(d, xi+h, xj, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain, rt) })
+		fwRec(d, xi, xj, k0+h, h, base, grain, rt)
 	case iK: // B
-		run2(func() { fwRec(d, xi, xj, k0, h, base, grain) },
-			func() { fwRec(d, xi, xj+h, k0, h, base, grain) })
-		run2(func() { fwRec(d, xi+h, xj, k0, h, base, grain) },
-			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain) })
-		run2(func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) },
-			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain) })
-		run2(func() { fwRec(d, xi, xj, k0+h, h, base, grain) },
-			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) })
+		run2(func() { fwRec(d, xi, xj, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi, xj+h, k0, h, base, grain, rt) })
+		run2(func() { fwRec(d, xi+h, xj, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain, rt) })
+		run2(func() { fwRec(d, xi+h, xj, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain, rt) })
+		run2(func() { fwRec(d, xi, xj, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain, rt) })
 	case jK: // C
-		run2(func() { fwRec(d, xi, xj, k0, h, base, grain) },
-			func() { fwRec(d, xi+h, xj, k0, h, base, grain) })
-		run2(func() { fwRec(d, xi, xj+h, k0, h, base, grain) },
-			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain) })
-		run2(func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) },
-			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain) })
-		run2(func() { fwRec(d, xi, xj, k0+h, h, base, grain) },
-			func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) })
+		run2(func() { fwRec(d, xi, xj, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj, k0, h, base, grain, rt) })
+		run2(func() { fwRec(d, xi, xj+h, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain, rt) })
+		run2(func() { fwRec(d, xi, xj+h, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain, rt) })
+		run2(func() { fwRec(d, xi, xj, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj, k0+h, h, base, grain, rt) })
 	default: // D
-		run4(func() { fwRec(d, xi, xj, k0, h, base, grain) },
-			func() { fwRec(d, xi, xj+h, k0, h, base, grain) },
-			func() { fwRec(d, xi+h, xj, k0, h, base, grain) },
-			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain) })
-		run4(func() { fwRec(d, xi, xj, k0+h, h, base, grain) },
-			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain) },
-			func() { fwRec(d, xi+h, xj, k0+h, h, base, grain) },
-			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain) })
+		run4(func() { fwRec(d, xi, xj, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi, xj+h, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj, k0, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj+h, k0, h, base, grain, rt) })
+		run4(func() { fwRec(d, xi, xj, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi, xj+h, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj, k0+h, h, base, grain, rt) },
+			func() { fwRec(d, xi+h, xj+h, k0+h, h, base, grain, rt) })
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"gep/internal/core"
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // Packed transitive closure: the same boolean-semiring GEP instance as
@@ -36,6 +37,12 @@ func TransitiveClosurePacked(reach *matrix.Bits, tableWidth int) {
 // share an edge word. Output is bit-identical to the serial packed and
 // unpacked paths at every worker count.
 func ClosurePackedParallel(reach *matrix.Bits, tableWidth, grain int) {
+	ClosurePackedParallelOn(nil, reach, tableWidth, grain)
+}
+
+// ClosurePackedParallelOn is ClosurePackedParallel with all forks
+// confined to rt (nil = the default runtime).
+func ClosurePackedParallelOn(rt *par.Runtime, reach *matrix.Bits, tableWidth, grain int) {
 	if !reach.Aligned() {
 		panic("apsp: ClosurePackedParallel requires a word-aligned matrix (see Bits.Aligned)")
 	}
@@ -43,7 +50,8 @@ func ClosurePackedParallel(reach *matrix.Bits, tableWidth, grain int) {
 		grain = 64
 	}
 	runPackedClosure(reach, func(m *matrix.Bits) {
-		opts := append(packedOpts(tableWidth), core.WithParallel[bool](grain))
+		opts := append(packedOpts(tableWidth),
+			core.WithParallel[bool](grain), core.WithRuntime[bool](rt))
 		core.RunABCD[bool](m, core.Closure{}, core.Full{}, opts...)
 	})
 }

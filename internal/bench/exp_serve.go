@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"gep/internal/serve"
+)
+
+func init() {
+	Register(Experiment{
+		Name:  "serve",
+		Title: "Job-service throughput and latency: concurrent LU jobs over HTTP, isolated runtimes",
+		Run:   runServe,
+	})
+}
+
+// runServe measures the gep-server job service end to end: a fixed
+// set of closed-loop clients submit LU jobs over HTTP (each waits for
+// its job to finish before submitting the next) against servers with
+// different executor/worker shapes. One row per shape:
+//
+//   - Wall is the sustained run's total duration (the compare gate's
+//     regression signal).
+//   - extra["throughput_jps"] is completed jobs per second.
+//   - extra["p50_ms"] / extra["p99_ms"] are end-to-end job latency
+//     percentiles, submit to terminal status, including queueing.
+//
+// Isolation is part of what's measured: each job runs on its own
+// par.Runtime, so c concurrent jobs with w workers each occupy c×w
+// workers total (the Workers column) without sharing queues.
+func runServe(w io.Writer, scale Scale) error {
+	n, jobs := 128, 24
+	if scale == Full {
+		n, jobs = 256, 96
+	}
+	shapes := []struct{ concurrent, workers int }{
+		{1, 1},
+		{1, 2},
+		{2, 2},
+		{4, 2},
+	}
+
+	fmt.Fprintf(w, "Closed-loop clients submitting lu jobs (n=%d, %d jobs per shape)\n", n, jobs)
+	fmt.Fprintf(w, "against gep-server shapes c executors x w workers per job:\n\n")
+
+	var t Table
+	t.Header("shape", "total wall", "throughput (jobs/s)", "p50", "p99")
+	for _, sh := range shapes {
+		wall, lats, err := serveRun(n, jobs, sh.concurrent, sh.workers)
+		if err != nil {
+			return err
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		p50 := lats[len(lats)/2]
+		p99 := lats[(len(lats)*99)/100]
+		tput := float64(jobs) / wall.Seconds()
+		Record(Row{
+			Engine:  "serve-lu",
+			N:       n,
+			Param:   fmt.Sprintf("c=%d w=%d", sh.concurrent, sh.workers),
+			Workers: sh.concurrent * sh.workers,
+			Wall:    wall,
+			Extra: map[string]float64{
+				"throughput_jps": tput,
+				"p50_ms":         float64(p50) / float64(time.Millisecond),
+				"p99_ms":         float64(p99) / float64(time.Millisecond),
+				"jobs":           float64(jobs),
+			},
+		})
+		t.Row(fmt.Sprintf("c=%d w=%d", sh.concurrent, sh.workers), wall, tput, p50, p99)
+	}
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nExpected: throughput grows with executors until c x w exhausts the")
+	fmt.Fprintln(w, "host's cores; p99 tracks queueing (clients = 2c keep one job queued")
+	fmt.Fprintln(w, "per executor), so it stays near 2x the isolated job latency.")
+	return nil
+}
+
+// serveRun drives one server shape with 2×concurrent closed-loop
+// clients and returns the total wall plus every job's end-to-end
+// latency.
+func serveRun(n, jobs, concurrent, workers int) (time.Duration, []time.Duration, error) {
+	srv := serve.New(serve.Config{
+		QueueDepth:     jobs,
+		MaxConcurrent:  concurrent,
+		DefaultWorkers: workers,
+		RetainJobs:     jobs + 1,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Shutdown(context.Background())
+	}()
+
+	clients := 2 * concurrent
+	lats := make([]time.Duration, jobs)
+	errs := make(chan error, clients)
+	next := make(chan int, jobs)
+	for i := 0; i < jobs; i++ {
+		next <- i
+	}
+	close(next)
+
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func() {
+			for i := range next {
+				lat, err := serveOneJob(ts.URL, n, int64(i))
+				if err != nil {
+					errs <- err
+					return
+				}
+				lats[i] = lat
+			}
+			errs <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			return 0, nil, err
+		}
+	}
+	return time.Since(start), lats, nil
+}
+
+// serveOneJob submits one lu job and polls until it finishes,
+// returning the submit-to-terminal latency.
+func serveOneJob(base string, n int, seed int64) (time.Duration, error) {
+	body, _ := json.Marshal(serve.Spec{Op: "lu", N: n, Seed: seed})
+	start := time.Now()
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	var v serve.JobView
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("serve bench: submit returned %d", resp.StatusCode)
+	}
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			return 0, err
+		}
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if v.Status.Terminal() {
+			if v.Status != serve.StatusDone {
+				return 0, fmt.Errorf("serve bench: job %s finished %s (%s)", v.ID, v.Status, v.Error)
+			}
+			return time.Since(start), nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

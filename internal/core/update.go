@@ -1,6 +1,9 @@
 package core
 
-import "gep/internal/matrix"
+import (
+	"gep/internal/matrix"
+	"gep/internal/par"
+)
 
 // UpdateFunc computes the new value of c[i,j] from the current values
 // x = c[i,j], u = c[i,k], v = c[k,j] and w = c[k,k]. It corresponds to
@@ -235,6 +238,17 @@ func WithAuxFactory[T any](f func(rows, cols int) matrix.Rect[T]) Option[T] {
 // to the storage tile side so blocks align with tiles.
 func WithBaseCase[T any](hook func(i0, j0, k0, s int) bool) Option[T] {
 	return func(c *config[T]) { c.baseHook = hook }
+}
+
+// WithRuntime routes the parallel recursion's forks to rt instead of
+// the process-wide default work-stealing runtime. Pass the per-job
+// runtime of an isolated tenant (see par.NewRuntime and
+// internal/serve) so concurrent computations cannot occupy each
+// other's worker budgets; nil keeps the default. WithRuntime is a
+// convenience over WithSpawn — the two set the same hook, last one
+// wins.
+func WithRuntime[T any](rt *par.Runtime) Option[T] {
+	return func(c *config[T]) { c.spawn = par.Or(rt).Spawn }
 }
 
 // WithSpawn replaces the goroutine spawner used by parallel execution.

@@ -6,10 +6,17 @@ package linalg
 // benchmarks (and downstream users who want the engines' generality —
 // wrapper grids, traces, out-of-core stores) get the closed-form block
 // kernels without writing per-application recursions.
+//
+// Every parallel entry point has an ...On sibling taking an optional
+// *par.Runtime: nil runs on the process-wide default runtime (the
+// historical behavior), a non-nil runtime confines all forks to that
+// runtime's worker budget — the per-job isolation internal/serve is
+// built on.
 
 import (
 	"gep/internal/core"
 	"gep/internal/matrix"
+	"gep/internal/par"
 )
 
 // MulFused computes c += a·b through RunDisjoint with the fused
@@ -28,9 +35,16 @@ func MulFused(c, a, b *matrix.Dense[float64], base int) {
 // all-D recursion has span O(n) (Theorem 3.1), the best-scaling
 // workload of Figure 12. Results are bit-identical to MulFused.
 func MulFusedParallel(c, a, b *matrix.Dense[float64], base, grain int) {
+	MulFusedParallelOn(nil, c, a, b, base, grain)
+}
+
+// MulFusedParallelOn is MulFusedParallel with all forks confined to
+// rt (nil = the default runtime).
+func MulFusedParallelOn(rt *par.Runtime, c, a, b *matrix.Dense[float64], base, grain int) {
 	checkMulDims(c, a, b)
 	core.RunDisjoint[float64](c, a, b, b, core.MulAdd[float64]{}, core.Full{},
-		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain),
+		core.WithRuntime[float64](rt))
 }
 
 // LUFused performs in-place LU decomposition (multipliers below the
@@ -45,8 +59,15 @@ func LUFused(c *matrix.Dense[float64], base int) {
 // the same partial order as RunIGEP, so results are bit-identical to
 // LUFused at every worker count.
 func LUFusedParallel(c *matrix.Dense[float64], base, grain int) {
+	LUFusedParallelOn(nil, c, base, grain)
+}
+
+// LUFusedParallelOn is LUFusedParallel with all forks confined to rt
+// (nil = the default runtime).
+func LUFusedParallelOn(rt *par.Runtime, c *matrix.Dense[float64], base, grain int) {
 	core.RunABCD[float64](c, core.LUFactor[float64]{}, core.LU{},
-		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain),
+		core.WithRuntime[float64](rt))
 }
 
 // GaussFused performs in-place Gaussian elimination (no multipliers
@@ -61,6 +82,13 @@ func GaussFused(c *matrix.Dense[float64], base int) {
 // recursion on the work-stealing runtime; bit-identical to GaussFused
 // at every worker count.
 func GaussFusedParallel(c *matrix.Dense[float64], base, grain int) {
+	GaussFusedParallelOn(nil, c, base, grain)
+}
+
+// GaussFusedParallelOn is GaussFusedParallel with all forks confined
+// to rt (nil = the default runtime).
+func GaussFusedParallelOn(rt *par.Runtime, c *matrix.Dense[float64], base, grain int) {
 	core.RunABCD[float64](c, core.GaussElim[float64]{}, core.Gaussian{},
-		core.WithBaseSize[float64](base), core.WithParallel[float64](grain))
+		core.WithBaseSize[float64](base), core.WithParallel[float64](grain),
+		core.WithRuntime[float64](rt))
 }

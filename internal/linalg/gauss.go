@@ -153,12 +153,18 @@ func LUIGEP(c *matrix.Dense[float64], base int) {
 	if base < 1 {
 		base = 1
 	}
-	luRec(c, 0, 0, 0, n, base, 0)
+	luRec(c, 0, 0, 0, n, base, 0, nil)
 }
 
 // LUIGEPParallel runs the same recursion with Figure 6's parallel
 // groups on goroutines down to the given grain.
 func LUIGEPParallel(c *matrix.Dense[float64], base, grain int) {
+	LUIGEPParallelOn(nil, c, base, grain)
+}
+
+// LUIGEPParallelOn is LUIGEPParallel with all forks confined to rt
+// (nil = the default runtime).
+func LUIGEPParallelOn(rt *par.Runtime, c *matrix.Dense[float64], base, grain int) {
 	n := c.N()
 	if n == 0 {
 		return
@@ -172,12 +178,13 @@ func LUIGEPParallel(c *matrix.Dense[float64], base, grain int) {
 	if grain < base {
 		grain = base
 	}
-	luRec(c, 0, 0, 0, n, base, grain)
+	luRec(c, 0, 0, 0, n, base, grain, par.Or(rt))
 }
 
 // luRec is the LU-specialized multithreaded I-GEP recursion. grain = 0
-// disables parallelism; otherwise parallel groups spawn while s > grain.
-func luRec(c *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
+// disables parallelism; otherwise parallel groups spawn while s > grain
+// as fork-join groups on rt (nil is allowed only when grain = 0).
+func luRec(c *matrix.Dense[float64], xi, xj, k0, s, base, grain int, rt *par.Runtime) {
 	// Prune using the LU set's box test: need some i > k and j >= k.
 	if xi+s-1 <= k0 || xj+s-1 < k0 {
 		return
@@ -202,7 +209,7 @@ func luRec(c *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
 			f2()
 			return
 		}
-		par.Do(f1, f2)
+		rt.Do(f1, f2)
 	}
 	run4 := func(fs ...func()) {
 		if !parOn {
@@ -211,46 +218,46 @@ func luRec(c *matrix.Dense[float64], xi, xj, k0, s, base, grain int) {
 			}
 			return
 		}
-		par.Do(fs...)
+		rt.Do(fs...)
 	}
 	iK, jK := xi == k0, xj == k0
 	switch {
 	case iK && jK: // A
-		luRec(c, xi, xj, k0, h, base, grain)
-		run2(func() { luRec(c, xi, xj+h, k0, h, base, grain) },
-			func() { luRec(c, xi+h, xj, k0, h, base, grain) })
-		luRec(c, xi+h, xj+h, k0, h, base, grain)
-		luRec(c, xi+h, xj+h, k0+h, h, base, grain)
-		run2(func() { luRec(c, xi+h, xj, k0+h, h, base, grain) },
-			func() { luRec(c, xi, xj+h, k0+h, h, base, grain) })
-		luRec(c, xi, xj, k0+h, h, base, grain)
+		luRec(c, xi, xj, k0, h, base, grain, rt)
+		run2(func() { luRec(c, xi, xj+h, k0, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj, k0, h, base, grain, rt) })
+		luRec(c, xi+h, xj+h, k0, h, base, grain, rt)
+		luRec(c, xi+h, xj+h, k0+h, h, base, grain, rt)
+		run2(func() { luRec(c, xi+h, xj, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi, xj+h, k0+h, h, base, grain, rt) })
+		luRec(c, xi, xj, k0+h, h, base, grain, rt)
 	case iK: // B
-		run2(func() { luRec(c, xi, xj, k0, h, base, grain) },
-			func() { luRec(c, xi, xj+h, k0, h, base, grain) })
-		run2(func() { luRec(c, xi+h, xj, k0, h, base, grain) },
-			func() { luRec(c, xi+h, xj+h, k0, h, base, grain) })
-		run2(func() { luRec(c, xi+h, xj, k0+h, h, base, grain) },
-			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain) })
-		run2(func() { luRec(c, xi, xj, k0+h, h, base, grain) },
-			func() { luRec(c, xi, xj+h, k0+h, h, base, grain) })
+		run2(func() { luRec(c, xi, xj, k0, h, base, grain, rt) },
+			func() { luRec(c, xi, xj+h, k0, h, base, grain, rt) })
+		run2(func() { luRec(c, xi+h, xj, k0, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj+h, k0, h, base, grain, rt) })
+		run2(func() { luRec(c, xi+h, xj, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain, rt) })
+		run2(func() { luRec(c, xi, xj, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi, xj+h, k0+h, h, base, grain, rt) })
 	case jK: // C
-		run2(func() { luRec(c, xi, xj, k0, h, base, grain) },
-			func() { luRec(c, xi+h, xj, k0, h, base, grain) })
-		run2(func() { luRec(c, xi, xj+h, k0, h, base, grain) },
-			func() { luRec(c, xi+h, xj+h, k0, h, base, grain) })
-		run2(func() { luRec(c, xi, xj+h, k0+h, h, base, grain) },
-			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain) })
-		run2(func() { luRec(c, xi, xj, k0+h, h, base, grain) },
-			func() { luRec(c, xi+h, xj, k0+h, h, base, grain) })
+		run2(func() { luRec(c, xi, xj, k0, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj, k0, h, base, grain, rt) })
+		run2(func() { luRec(c, xi, xj+h, k0, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj+h, k0, h, base, grain, rt) })
+		run2(func() { luRec(c, xi, xj+h, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain, rt) })
+		run2(func() { luRec(c, xi, xj, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj, k0+h, h, base, grain, rt) })
 	default: // D
-		run4(func() { luRec(c, xi, xj, k0, h, base, grain) },
-			func() { luRec(c, xi, xj+h, k0, h, base, grain) },
-			func() { luRec(c, xi+h, xj, k0, h, base, grain) },
-			func() { luRec(c, xi+h, xj+h, k0, h, base, grain) })
-		run4(func() { luRec(c, xi, xj, k0+h, h, base, grain) },
-			func() { luRec(c, xi, xj+h, k0+h, h, base, grain) },
-			func() { luRec(c, xi+h, xj, k0+h, h, base, grain) },
-			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain) })
+		run4(func() { luRec(c, xi, xj, k0, h, base, grain, rt) },
+			func() { luRec(c, xi, xj+h, k0, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj, k0, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj+h, k0, h, base, grain, rt) })
+		run4(func() { luRec(c, xi, xj, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi, xj+h, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj, k0+h, h, base, grain, rt) },
+			func() { luRec(c, xi+h, xj+h, k0+h, h, base, grain, rt) })
 	}
 }
 

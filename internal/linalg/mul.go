@@ -142,6 +142,12 @@ func mulRec(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base int) {
 // goroutines down to the given grain — the multithreaded I-GEP for
 // matrix multiplication with span O(n) (§3).
 func MulIGEPParallel(c, a, b *matrix.Dense[float64], base, grain int) {
+	MulIGEPParallelOn(nil, c, a, b, base, grain)
+}
+
+// MulIGEPParallelOn is MulIGEPParallel with all forks confined to rt
+// (nil = the default runtime).
+func MulIGEPParallelOn(rt *par.Runtime, c, a, b *matrix.Dense[float64], base, grain int) {
 	n := checkMulDims(c, a, b)
 	if n == 0 {
 		return
@@ -155,14 +161,14 @@ func MulIGEPParallel(c, a, b *matrix.Dense[float64], base, grain int) {
 	if grain < base {
 		grain = base
 	}
-	mulRecPar(c, a, b, 0, 0, 0, n, base, grain)
+	mulRecPar(c, a, b, 0, 0, 0, n, base, grain, par.Or(rt))
 }
 
 // mulRecPar runs the quadrants of each k-half as a fork-join group on
 // the work-stealing runtime of internal/par: forks land on the
 // caller's worker deque (or run inline past the depth cutoff), so deep
 // recursions never create one goroutine per spawn.
-func mulRecPar(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base, grain int) {
+func mulRecPar(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base, grain int, rt *par.Runtime) {
 	if s <= grain {
 		mulRec(c, a, b, i0, j0, k0, s, base)
 		return
@@ -170,11 +176,11 @@ func mulRecPar(c, a, b *matrix.Dense[float64], i0, j0, k0, s, base, grain int) {
 	h := s / 2
 	for _, kh := range []int{k0, k0 + h} {
 		kh := kh
-		par.Do(
-			func() { mulRecPar(c, a, b, i0, j0, kh, h, base, grain) },
-			func() { mulRecPar(c, a, b, i0, j0+h, kh, h, base, grain) },
-			func() { mulRecPar(c, a, b, i0+h, j0, kh, h, base, grain) },
-			func() { mulRecPar(c, a, b, i0+h, j0+h, kh, h, base, grain) },
+		rt.Do(
+			func() { mulRecPar(c, a, b, i0, j0, kh, h, base, grain, rt) },
+			func() { mulRecPar(c, a, b, i0, j0+h, kh, h, base, grain, rt) },
+			func() { mulRecPar(c, a, b, i0+h, j0, kh, h, base, grain, rt) },
+			func() { mulRecPar(c, a, b, i0+h, j0+h, kh, h, base, grain, rt) },
 		)
 	}
 }

@@ -1,4 +1,4 @@
-// Package metrics provides the cheap global counters behind the
+// Package metrics provides the cheap named counters behind the
 // harness telemetry: every engine records what it actually did — forks
 // handed to the worker pool, fast-path vs generic base-case kernel
 // dispatches, pool submissions vs inline runs, simulated cache misses —
@@ -6,19 +6,28 @@
 // around each experiment so the deltas land in the BENCH_*.json
 // reports next to the wall-clock numbers.
 //
+// Counters live in registries. The package-level functions (New,
+// Snapshot, Reset, Names) operate on the process-wide Default
+// registry, which is what the engines' package-var counters join and
+// what /debug/vars publishes as "gep.metrics". NewRegistry creates an
+// additional isolated scope: an instantiable par.Runtime gives each
+// scope its own "par.*" counters, which is how the job server
+// (internal/serve) reports per-job scheduler activity next to the
+// process-wide aggregate.
+//
 // Design constraints, in order:
 //
 //  1. Hot-path cost: one uncontended atomic add, zero allocation, no
 //     locks. Counters are incremented from inside parallel recursions
 //     (internal/core, internal/par), so anything heavier would distort
-//     the very numbers the harness measures. The package mutex guards
+//     the very numbers the harness measures. The registry mutex guards
 //     only registration and Snapshot, which happen per process / per
 //     experiment, never per update.
 //  2. Queryability: Snapshot returns all counters by name, Diff turns
-//     two snapshots into per-counter deltas, and the whole registry is
-//     published through expvar as "gep.metrics" so a live process
-//     (e.g. one started with -trace or a future server mode) exposes
-//     the counters on /debug/vars without extra wiring.
+//     two snapshots into per-counter deltas, and the Default registry
+//     is published through expvar as "gep.metrics" so a live process
+//     (cmd/gep-server, or anything started with -trace) exposes the
+//     counters on /debug/vars without extra wiring.
 //
 // Counter names are dotted paths, "<package>.<event>", e.g.
 // "core.kernel.flat" or "par.spawn.inline"; the authoritative list
@@ -34,7 +43,8 @@ import (
 )
 
 // Counter is a monotonically increasing event counter. The zero value
-// is unusable; obtain counters with New so they join the registry.
+// is unusable; obtain counters from a registry (New or
+// Registry.Counter) so they can be snapshotted.
 type Counter struct {
 	name string
 	v    atomic.Int64
@@ -52,37 +62,103 @@ func (c *Counter) Add(n int64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-var (
-	mu       sync.Mutex
-	registry = map[string]*Counter{}
-)
+// Registry is one isolated scope of named counters. The process-wide
+// Default registry holds the engines' aggregate counters; additional
+// registries (NewRegistry) scope the same counter names to one
+// par.Runtime, so a multi-tenant process can attribute scheduler
+// activity per job and still read the aggregate from Default.
+type Registry struct {
+	name string
+	mu   sync.Mutex
+	m    map[string]*Counter
+}
+
+// NewRegistry returns an empty registry. name labels the scope for
+// display (e.g. a job id); it does not prefix counter names.
+func NewRegistry(name string) *Registry {
+	return &Registry{name: name, m: map[string]*Counter{}}
+}
+
+// Name returns the scope label passed to NewRegistry ("" for Default).
+func (r *Registry) Name() string { return r.name }
 
 // New registers and returns a counter with the given dotted name.
 // Registration normally happens in package var blocks; duplicate names
 // panic because they would make Snapshot ambiguous.
-func New(name string) *Counter {
-	mu.Lock()
-	defer mu.Unlock()
-	if _, dup := registry[name]; dup {
+func (r *Registry) New(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
 		panic("metrics: duplicate counter " + name)
 	}
 	c := &Counter{name: name}
-	registry[name] = c
+	r.m[name] = c
 	return c
 }
 
-// Snapshot returns the current value of every registered counter,
+// Counter returns the counter with the given name, registering it
+// first if needed. It is the get-or-create variant of New for callers
+// that legitimately re-resolve the same name — the par runtime reuses
+// its per-worker counters across SetWorkers rebuilds.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.m[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.m[name] = c
+	return c
+}
+
+// Snapshot returns the current value of every counter in the registry,
 // keyed by name. The map is a copy; mutating it does not affect the
 // counters.
-func Snapshot() map[string]int64 {
-	mu.Lock()
-	defer mu.Unlock()
-	out := make(map[string]int64, len(registry))
-	for name, c := range registry {
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.m))
+	for name, c := range r.m {
 		out[name] = c.Value()
 	}
 	return out
 }
+
+// Reset zeroes every counter in the registry. It exists for tests and
+// for long-lived processes that want per-phase absolute values; the
+// bench harness prefers Snapshot+Diff, which needs no reset and is
+// safe under concurrent counting.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.m {
+		c.v.Store(0)
+	}
+}
+
+// Names returns the registry's counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for name := range r.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default is the process-wide registry: every package-var counter in
+// the engines lives here, and expvar publishes it as "gep.metrics".
+var Default = NewRegistry("")
+
+// New registers and returns a counter in the Default registry;
+// duplicate names panic.
+func New(name string) *Counter { return Default.New(name) }
+
+// Snapshot returns the current value of every counter in the Default
+// registry, keyed by name.
+func Snapshot() map[string]int64 { return Default.Snapshot() }
 
 // Diff returns after[k] - before[k] for every key of after, omitting
 // zero deltas (and counters that did not yet exist in before are
@@ -98,32 +174,14 @@ func Diff(before, after map[string]int64) map[string]int64 {
 	return out
 }
 
-// Reset zeroes every registered counter. It exists for tests and for
-// long-lived processes that want per-phase absolute values; the bench
-// harness prefers Snapshot+Diff, which needs no reset and is safe
-// under concurrent counting.
-func Reset() {
-	mu.Lock()
-	defer mu.Unlock()
-	for _, c := range registry {
-		c.v.Store(0)
-	}
-}
+// Reset zeroes every counter in the Default registry.
+func Reset() { Default.Reset() }
 
-// Names returns the registered counter names, sorted.
-func Names() []string {
-	mu.Lock()
-	defer mu.Unlock()
-	out := make([]string, 0, len(registry))
-	for name := range registry {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+// Names returns the Default registry's counter names, sorted.
+func Names() []string { return Default.Names() }
 
 func init() {
-	// One expvar map for the whole registry: /debug/vars shows
+	// One expvar map for the whole Default registry: /debug/vars shows
 	// {"gep.metrics": {"core.kernel.flat": ..., ...}}.
 	expvar.Publish("gep.metrics", expvar.Func(func() any { return Snapshot() }))
 }

@@ -12,7 +12,8 @@ import (
 // The work-stealing machinery: a long-lived worker set, one LIFO deque
 // per worker, randomized FIFO stealing, and a join that helps (executes
 // pending tasks) instead of blocking a worker. See DESIGN.md §11 for
-// why this preserves the cache arguments of Lemmas 3.1/3.2.
+// why this preserves the cache arguments of Lemmas 3.1/3.2, and §14
+// for the isolation argument of per-Runtime worker sets.
 
 // wtask is one forked task in flight.
 type wtask struct {
@@ -75,50 +76,42 @@ func (d *deque) stealMin(min int32) *wtask {
 	return nil
 }
 
-// Telemetry. The spawn-side pair is exhaustive and exclusive: every
-// Spawn call increments exactly one of par.spawn.pooled (enqueued on a
-// deque) or par.spawn.inline (ran on the caller by policy: one worker,
-// or fork depth at/past the cutoff). The execution-side trio is
-// exhaustive over pooled tasks: par.local (owner popped its own deque),
-// par.steal (taken FIFO by another worker), par.help (executed by a
-// goroutine waiting inside a join). Once every wait has returned,
+// rtCounters is one Runtime's scheduler telemetry, registered in the
+// Runtime's metrics registry. The spawn-side pair is exhaustive and
+// exclusive: every Spawn call increments exactly one of
+// par.spawn.pooled (enqueued on a deque) or par.spawn.inline (ran on
+// the caller by policy: one worker, closed runtime, or fork depth
+// at/past the cutoff). The execution-side trio is exhaustive over
+// pooled tasks: par.local (owner popped its own deque), par.steal
+// (taken FIFO by another worker), par.help (executed by a goroutine
+// waiting inside a join). Once every wait has returned,
 // par.local + par.steal + par.help == par.spawn.pooled exactly —
 // par_test.go asserts this, including across a SetWorkers resize.
-var (
-	pooledCount      = metrics.New("par.spawn.pooled")
-	inlineCount      = metrics.New("par.spawn.inline")
-	localSpawnCount  = metrics.New("par.spawn.local")
-	injectSpawnCount = metrics.New("par.spawn.inject")
-	localCount       = metrics.New("par.local")
-	stealCount       = metrics.New("par.steal")
-	helpCount        = metrics.New("par.help")
-)
+type rtCounters struct {
+	pooled      *metrics.Counter
+	inline      *metrics.Counter
+	localSpawn  *metrics.Counter
+	injectSpawn *metrics.Counter
+	local       *metrics.Counter
+	steal       *metrics.Counter
+	help        *metrics.Counter
+}
+
+func newRTCounters(reg *metrics.Registry) rtCounters {
+	return rtCounters{
+		pooled:      reg.Counter("par.spawn.pooled"),
+		inline:      reg.Counter("par.spawn.inline"),
+		localSpawn:  reg.Counter("par.spawn.local"),
+		injectSpawn: reg.Counter("par.spawn.inject"),
+		local:       reg.Counter("par.local"),
+		steal:       reg.Counter("par.steal"),
+		help:        reg.Counter("par.help"),
+	}
+}
 
 // depthBuckets is the number of exact per-worker depth-histogram
 // buckets; executions at depth >= depthBuckets-1 land in the last one.
 const depthBuckets = 5
-
-// workerCounters caches the lazily registered per-worker counters so a
-// SetWorkers resize (which recreates the worker set) reuses them
-// instead of tripping the duplicate-registration panic in metrics.New.
-var workerCounters struct {
-	mu sync.Mutex
-	m  map[string]*metrics.Counter
-}
-
-func namedCounter(name string) *metrics.Counter {
-	workerCounters.mu.Lock()
-	defer workerCounters.mu.Unlock()
-	if workerCounters.m == nil {
-		workerCounters.m = make(map[string]*metrics.Counter)
-	}
-	if c, ok := workerCounters.m[name]; ok {
-		return c
-	}
-	c := metrics.New(name)
-	workerCounters.m[name] = c
-	return c
-}
 
 // worker is one long-lived executor goroutine plus its deque.
 type worker struct {
@@ -135,53 +128,107 @@ type worker struct {
 	depth [depthBuckets]*metrics.Counter
 }
 
-// scheduler is one generation of the runtime: the worker set sized at
+// scheduler is one generation of a Runtime: the worker set sized at
 // creation, its wake channel, and the depth cutoff. SetWorkers installs
 // a fresh generation; the old one drains its deques and retires (and
 // any task a retiring generation leaves behind is executed by its
-// joiner, so no fork is ever lost across a resize).
+// joiner, so no fork is ever lost across a resize). Close retires the
+// final generation without a successor.
 type scheduler struct {
+	owner   *Runtime
 	workers []*worker
 	wake    chan struct{} // capacity len(workers); wakeOne never blocks
 	stop    chan struct{}
 	cutoff  int32
 }
 
-var sched struct {
-	mu  sync.Mutex
+// Runtime is one instance of the work-stealing fork-join runtime: a
+// worker set with its own deques, depth cutoff, and metrics registry.
+// The package-level functions (Spawn, Do, SetWorkers, ...) delegate to
+// the process-wide Default runtime, which sizes itself from GOMAXPROCS
+// — the library facade never needs to know runtimes exist. Additional
+// runtimes (NewRuntime) give each tenant of a long-lived process an
+// isolated worker budget: a job running on a 2-worker Runtime can
+// never occupy the workers of another job's Runtime, because tasks are
+// only ever pushed to, stolen from, and drained by the deques of the
+// runtime they were spawned on (DESIGN.md §14).
+//
+// All methods are safe for concurrent use.
+type Runtime struct {
+	mu  sync.Mutex // serializes resizes
 	cur atomic.Pointer[scheduler]
 	// procs is the GOMAXPROCS value the worker set was sized from, or 0
-	// when pinned by SetWorkers.
+	// when pinned by SetWorkers/NewRuntime.
 	procs  atomic.Int64
 	pinned atomic.Bool
 	// cutoffOverride, when non-zero, replaces the automatic depth
 	// cutoff at the next (re)build. See SetDepthCutoff.
 	cutoffOverride atomic.Int32
+	aborted        atomic.Bool
+	closed         atomic.Bool
+	reg            *metrics.Registry
+	c              rtCounters
 }
 
-func init() {
-	resize(defaultWorkers(), false)
+// std is the process-wide default runtime behind the package-level
+// functions. Its counters live in metrics.Default under the historical
+// names ("par.spawn.pooled", "par.w<i>.tasks", ...), so existing
+// telemetry consumers see no change.
+var std = newRuntime(0, metrics.Default)
+
+// Default returns the process-wide default runtime — the instance the
+// package-level Spawn/Do/Group delegate to. Engine entry points that
+// accept an optional *Runtime substitute Default for nil.
+func Default() *Runtime { return std }
+
+// NewRuntime creates an isolated runtime. workers > 0 pins the worker
+// set to exactly that size (the per-job budget of internal/serve);
+// workers <= 0 sizes it from GOMAXPROCS and tracks later changes, like
+// the default runtime. Close releases the workers when done; an
+// unclosed Runtime leaks its worker goroutines (they park on the wake
+// channel, holding no CPU, but never exit).
+func NewRuntime(workers int) *Runtime {
+	return newRuntime(workers, metrics.NewRegistry("par"))
 }
 
-func defaultWorkers() int { return gomaxprocs() }
+func newRuntime(workers int, reg *metrics.Registry) *Runtime {
+	r := &Runtime{reg: reg, c: newRTCounters(reg)}
+	if workers > 0 {
+		r.resize(workers, true)
+	} else {
+		r.resize(gomaxprocs(), false)
+	}
+	return r
+}
+
+// Metrics returns the runtime's counter registry. For the default
+// runtime this is metrics.Default; for a NewRuntime instance it is a
+// private scope holding only that runtime's "par.*" counters, which is
+// what lets a multi-tenant process attribute scheduler activity per
+// job (internal/serve snapshots it into job status).
+func (r *Runtime) Metrics() *metrics.Registry { return r.reg }
 
 // resize installs a fresh scheduler generation with n workers. Racing
-// resizes serialize on sched.mu; the retiring generation is told to
-// stop and drains itself.
-func resize(n int, pin bool) {
+// resizes serialize on r.mu; the retiring generation is told to stop
+// and drains itself.
+func (r *Runtime) resize(n int, pin bool) {
 	if n < 1 {
 		n = 1
 	}
-	sched.mu.Lock()
-	defer sched.mu.Unlock()
-	old := sched.cur.Load()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed.Load() {
+		return
+	}
+	old := r.cur.Load()
 	rt := &scheduler{
+		owner:   r,
 		workers: make([]*worker, n),
 		wake:    make(chan struct{}, n),
 		stop:    make(chan struct{}),
 		cutoff:  autoCutoff(n),
 	}
-	if o := sched.cutoffOverride.Load(); o > 0 {
+	if o := r.cutoffOverride.Load(); o > 0 {
 		rt.cutoff = o
 	}
 	for i := range rt.workers {
@@ -189,19 +236,19 @@ func resize(n int, pin bool) {
 			rt:    rt,
 			idx:   i,
 			seed:  uint64(i)*0x9e3779b97f4a7c15 + 1,
-			tasks: namedCounter(fmt.Sprintf("par.w%d.tasks", i)),
+			tasks: r.reg.Counter(fmt.Sprintf("par.w%d.tasks", i)),
 		}
 		for k := range w.depth {
-			w.depth[k] = namedCounter(fmt.Sprintf("par.w%d.d%d", i, k))
+			w.depth[k] = r.reg.Counter(fmt.Sprintf("par.w%d.d%d", i, k))
 		}
 		rt.workers[i] = w
 	}
-	sched.cur.Store(rt)
-	sched.pinned.Store(pin)
+	r.cur.Store(rt)
+	r.pinned.Store(pin)
 	if pin {
-		sched.procs.Store(0)
+		r.procs.Store(0)
 	} else {
-		sched.procs.Store(int64(n))
+		r.procs.Store(int64(n))
 	}
 	for _, w := range rt.workers {
 		go w.run()
@@ -210,6 +257,46 @@ func resize(n int, pin bool) {
 		close(old.stop)
 	}
 }
+
+// Close retires the runtime's workers: the current generation drains
+// its deques and its goroutines exit. After Close, Spawn and Do still
+// execute their tasks (inline on the caller), so late calls stay
+// correct; they just no longer parallelize. Close is idempotent and
+// must not be called on the default runtime (that would strand the
+// whole process's library users), which panics.
+func (r *Runtime) Close() {
+	if r == std {
+		panic("par: Close of the default runtime")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed.Swap(true) {
+		return
+	}
+	if cur := r.cur.Load(); cur != nil {
+		close(cur.stop)
+	}
+}
+
+// Abort makes the runtime discard work: subsequent Spawns return
+// without running their task, queued tasks complete without executing
+// their bodies, and Do becomes a no-op. Results computed on an aborted
+// runtime are undefined — Abort exists for cancellation paths
+// (deadline exceeded, client gone) where the output is discarded
+// anyway; it bounds how much of an in-flight recursion still runs by
+// cutting every fork-join group it has not yet reached. Aborting the
+// default runtime panics for the same reason closing it does. Abort
+// does not release the workers; pair it with Close.
+func (r *Runtime) Abort() {
+	if r == std {
+		panic("par: Abort of the default runtime")
+	}
+	r.aborted.Store(true)
+}
+
+// Aborted reports whether Abort has been called. Long base-case hooks
+// can poll it to stop early.
+func (r *Runtime) Aborted() bool { return r.aborted.Load() }
 
 // autoCutoff picks the fork depth at which Spawn switches to inline
 // execution: ~log2(p) levels saturate p workers for the binary and
@@ -221,14 +308,14 @@ func autoCutoff(workers int) int32 {
 }
 
 // current returns the live scheduler, first resizing when GOMAXPROCS
-// moved since the worker set was built (unless pinned).
-func current() *scheduler {
-	if !sched.pinned.Load() {
-		if p := int64(gomaxprocs()); p != sched.procs.Load() {
-			resize(int(p), false)
+// moved since the worker set was built (unless pinned or closed).
+func (r *Runtime) current() *scheduler {
+	if !r.pinned.Load() && !r.closed.Load() {
+		if p := int64(gomaxprocs()); p != r.procs.Load() {
+			r.resize(int(p), false)
 		}
 	}
-	return sched.cur.Load()
+	return r.cur.Load()
 }
 
 // wakeOne nudges one parked worker; a full buffer means at least
@@ -243,20 +330,22 @@ func (rt *scheduler) wakeOne() {
 
 // run is the worker main loop: pop own deque LIFO, else steal FIFO
 // from a random victim, else park until woken. On stop (a SetWorkers
-// resize) the worker drains every deque of its generation and exits.
+// resize or Close) the worker drains every deque of its generation and
+// exits.
 func (w *worker) run() {
 	id := goid()
 	w.ctx = &gctx{w: w}
 	registerCtx(id, w.ctx)
 	defer unregisterCtx(id)
+	c := &w.rt.owner.c
 	for {
 		if t := w.dq.pop(); t != nil {
-			localCount.Inc()
+			c.local.Inc()
 			w.exec(t)
 			continue
 		}
 		if t := w.rt.stealFor(w); t != nil {
-			stealCount.Inc()
+			c.steal.Inc()
 			w.exec(t)
 			continue
 		}
@@ -266,9 +355,9 @@ func (w *worker) run() {
 			for {
 				t := w.dq.pop()
 				if t != nil {
-					localCount.Inc()
+					c.local.Inc()
 				} else if t = w.rt.stealFor(w); t != nil {
-					stealCount.Inc()
+					c.steal.Inc()
 				} else {
 					return
 				}
@@ -278,16 +367,17 @@ func (w *worker) run() {
 	}
 }
 
-// stealFor scans the other workers' deques from a random start and
-// takes the oldest task of the first non-empty one.
+// rand steps the worker's xorshift64 state: per-worker, no locks, no
+// global rand dependency. It drives victim selection for stealing.
 func (w *worker) rand() uint64 {
-	// xorshift64: per-worker, no locks, no global rand dependency.
 	w.seed ^= w.seed << 13
 	w.seed ^= w.seed >> 7
 	w.seed ^= w.seed << 17
 	return w.seed
 }
 
+// stealFor scans the other workers' deques from a random start and
+// takes the oldest task of the first non-empty one.
 func (rt *scheduler) stealFor(w *worker) *wtask {
 	n := len(rt.workers)
 	if n < 2 {
@@ -307,7 +397,8 @@ func (rt *scheduler) stealFor(w *worker) *wtask {
 }
 
 // injectSeed drives victim selection for spawns from goroutines that
-// are not workers (the initial call of an engine run).
+// are not workers of the spawning runtime (the initial call of an
+// engine run, or a cross-runtime spawn).
 var injectSeed atomic.Uint64
 
 func injectVictim(rt *scheduler) *worker {
@@ -326,15 +417,21 @@ func (w *worker) exec(t *wtask) {
 	w.depth[b].Inc()
 	old := w.ctx.depth
 	w.ctx.depth = t.depth
-	runTask(t)
+	w.rt.runTask(t)
 	w.ctx.depth = old
 }
 
 // runTask executes the task body and always closes done, so joiners
 // are released even if the body panics (the panic then propagates on
 // the executing goroutine, exactly as the pre-runtime pool behaved).
-func runTask(t *wtask) {
+// On an aborted runtime the body is skipped: the task completes — its
+// joiners are released and the accounting invariants hold — without
+// doing its work.
+func (rt *scheduler) runTask(t *wtask) {
 	defer close(t.done)
+	if rt.owner.aborted.Load() {
+		return
+	}
 	t.fn()
 }
 
@@ -361,7 +458,9 @@ func (rt *scheduler) stealMinFor(min int32, seed *uint64) *wtask {
 // depth-first order a serial run would take next), then any deque of
 // t's generation, restricted to tasks no shallower than t. When no
 // helpable task exists, t is provably running on some goroutine, and
-// join parks on its done channel.
+// join parks on its done channel. Helping never crosses runtimes: only
+// the deques of t's own generation are scanned, so a joiner from one
+// job cannot be conscripted into another job's work.
 func (rt *scheduler) join(t *wtask) {
 	id := goid()
 	ctx := lookupCtx(id)
@@ -395,10 +494,10 @@ func (rt *scheduler) join(t *wtask) {
 			}
 			return
 		}
-		helpCount.Inc()
+		rt.owner.c.help.Inc()
 		old := ctx.depth
 		ctx.depth = h.depth
-		runTask(h)
+		rt.runTask(h)
 		ctx.depth = old
 	}
 }

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// curlExample is one `curl` line lifted from docs/API.md.
+type curlExample struct {
+	line   int
+	method string
+	path   string
+	body   string
+}
+
+var (
+	curlMethod = regexp.MustCompile(`-X\s+([A-Z]+)`)
+	curlURL    = regexp.MustCompile(`http://localhost:8080(/\S*)`)
+	curlBody   = regexp.MustCompile(`-d\s+'([^']*)'`)
+)
+
+// parseCurlExamples extracts every curl invocation from the doc, in
+// document order. The doc commits to a strict single-line format —
+// `curl -X METHOD http://localhost:8080/path [-d '...']` — so the
+// examples stay machine-checkable.
+func parseCurlExamples(t *testing.T, doc string) []curlExample {
+	t.Helper()
+	var out []curlExample
+	for i, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "curl ") {
+			continue
+		}
+		m := curlMethod.FindStringSubmatch(line)
+		u := curlURL.FindStringSubmatch(line)
+		if m == nil || u == nil {
+			t.Fatalf("docs/API.md:%d: curl example not in the canonical form: %s", i+1, line)
+		}
+		ex := curlExample{line: i + 1, method: m[1], path: u[1]}
+		if b := curlBody.FindStringSubmatch(line); b != nil {
+			ex.body = b[1]
+		}
+		out = append(out, ex)
+	}
+	return out
+}
+
+// TestAPIDocExamples replays every curl example in docs/API.md
+// against a live server, in document order, and requires each one to
+// succeed with the status the doc promises (202 for submissions, 200
+// for everything else). The examples reference job id "j1", which is
+// exactly what a fresh server assigns to the doc's first submission —
+// so the doc is executable as written.
+func TestAPIDocExamples(t *testing.T) {
+	raw, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("read docs/API.md: %v", err)
+	}
+	examples := parseCurlExamples(t, string(raw))
+	if len(examples) < 10 {
+		t.Fatalf("parsed only %d curl examples from docs/API.md — the doc lost coverage", len(examples))
+	}
+
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2, DefaultWorkers: 2, MaxWorkers: 4})
+
+	var submitted []string
+	settled := false
+	for _, ex := range examples {
+		// The read-only examples assume the submitted jobs have
+		// finished (e.g. fetching j1's result); settle once, at the
+		// boundary between the submission and inspection sections.
+		if ex.method != http.MethodPost && !settled {
+			for _, id := range submitted {
+				if v := waitTerminal(t, ts, id); v.Status != StatusDone {
+					t.Fatalf("docs example job %s finished %s (%s), want done", id, v.Status, v.Error)
+				}
+			}
+			settled = true
+		}
+
+		req, err := http.NewRequest(ex.method, ts.URL+ex.path, strings.NewReader(ex.body))
+		if err != nil {
+			t.Fatalf("docs/API.md:%d: %v", ex.line, err)
+		}
+		if ex.body != "" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		client := &http.Client{Timeout: 30 * time.Second}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("docs/API.md:%d: %s %s: %v", ex.line, ex.method, ex.path, err)
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+
+		want := http.StatusOK
+		if ex.method == http.MethodPost {
+			want = http.StatusAccepted
+		}
+		if resp.StatusCode != want {
+			t.Fatalf("docs/API.md:%d: %s %s returned %d, want %d\nbody: %s",
+				ex.line, ex.method, ex.path, resp.StatusCode, want, payload)
+		}
+		if ex.method == http.MethodPost {
+			v, gotErr := s.Get(jobIDFromLocation(t, resp))
+			if !gotErr {
+				t.Fatalf("docs/API.md:%d: submitted job not found on the server", ex.line)
+			}
+			submitted = append(submitted, v.ID)
+		}
+	}
+	if !settled {
+		t.Fatal("docs/API.md has no read-only examples after the submissions")
+	}
+
+	// The doc's first submission must really be j1 — its later
+	// examples reference that id literally.
+	if len(submitted) == 0 || submitted[0] != "j1" {
+		t.Fatalf("first documented submission got id %v, but the doc says j1", submitted)
+	}
+}
+
+// jobIDFromLocation pulls the job id out of a 202 Location header.
+func jobIDFromLocation(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	loc := resp.Header.Get("Location")
+	id := strings.TrimPrefix(loc, "/v1/jobs/")
+	if id == "" || id == loc {
+		t.Fatalf("submission Location header %q is not a job URL", loc)
+	}
+	return id
+}

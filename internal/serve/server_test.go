@@ -1,0 +1,508 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer starts a server over httptest and tears both down at
+// the end of the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec any) (*http.Response, JobView) {
+	t.Helper()
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v JobView
+	if resp.StatusCode == http.StatusAccepted {
+		decodeBody(t, resp, &v)
+	}
+	return resp, v
+}
+
+func decodeBody(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode body: %v", err)
+	}
+}
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v JobView
+		decodeBody(t, resp, &v)
+		if v.Status.Terminal() {
+			return v
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return JobView{}
+}
+
+// TestJobLifecycle walks the happy path end to end over HTTP: submit,
+// poll, fetch the result, and check it against a serial recomputation.
+func TestJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, v := postJob(t, ts, Spec{Op: "multiply", N: 64, Seed: 7})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if v.ID == "" || v.Status != StatusQueued {
+		t.Fatalf("submit view: %+v", v)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+v.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("job finished %s (%s), want done", fin.Status, fin.Error)
+	}
+	if fin.Tasks == 0 || fin.Metrics == nil {
+		t.Fatalf("terminal view lacks runtime metrics: %+v", fin)
+	}
+
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	decodeBody(t, rr, &res)
+	if res.ID != v.ID || res.Op != "multiply" || len(res.Data) != 64*64 {
+		t.Fatalf("result shape: id=%s op=%s cells=%d", res.ID, res.Op, len(res.Data))
+	}
+
+	// Recompute serially from the same seed and compare a few cells.
+	a, b := randMatrix(64, 7, false), randMatrix(64, 8, false)
+	for _, ij := range [][2]int{{0, 0}, {13, 41}, {63, 63}} {
+		i, j := ij[0], ij[1]
+		want := 0.0
+		for k := 0; k < 64; k++ {
+			want += a.At(i, k) * b.At(k, j)
+		}
+		got := res.Data[i*64+j]
+		if got == nil || math.Abs(*got-want) > 1e-9 {
+			t.Fatalf("c[%d,%d]: got %v, want %v", i, j, got, want)
+		}
+	}
+}
+
+// TestConcurrentJobIsolation is the acceptance criterion: two jobs
+// running concurrently on disjoint worker budgets both complete, and
+// each job's own runtime counters prove its pooled tasks all executed
+// inside its own runtime — neither tenant occupied the other's
+// workers.
+func TestConcurrentJobIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, DefaultWorkers: 2, MaxWorkers: 4})
+
+	var ids [2]string
+	for i := range ids {
+		resp, v := postJob(t, ts, Spec{Op: "lu", N: 256, Seed: int64(i), Workers: 2})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids[i] = v.ID
+	}
+
+	var wg sync.WaitGroup
+	views := make([]JobView, 2)
+	for i, id := range ids {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			views[i] = waitTerminal(t, ts, id)
+		}()
+	}
+	wg.Wait()
+
+	for i, v := range views {
+		if v.Status != StatusDone {
+			t.Fatalf("job %d finished %s (%s)", i, v.Status, v.Error)
+		}
+		pooled := v.Metrics["par.spawn.pooled"]
+		executed := v.Metrics["par.local"] + v.Metrics["par.steal"] + v.Metrics["par.help"]
+		if pooled == 0 {
+			t.Errorf("job %d: no pooled spawns — it did not run on its own runtime", i)
+		}
+		if pooled != executed {
+			t.Errorf("job %d: pooled=%d but local+steal+help=%d — work leaked across runtimes",
+				i, pooled, executed)
+		}
+	}
+}
+
+// TestAdmissionControl exercises every rejection path: bad op, bad
+// size, oversized job, queue overflow, worker/deadline caps.
+func TestAdmissionControl(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 1, MaxConcurrent: 1, MaxN: 512, MaxWorkers: 2})
+
+	cases := []struct {
+		name string
+		spec Spec
+		code int
+	}{
+		{"unknown op", Spec{Op: "qr", N: 64}, http.StatusBadRequest},
+		{"non-pow2", Spec{Op: "lu", N: 65}, http.StatusBadRequest},
+		{"too large", Spec{Op: "lu", N: 1024}, http.StatusRequestEntityTooLarge},
+		{"workers over cap", Spec{Op: "lu", N: 64, Workers: 99}, http.StatusBadRequest},
+		{"deadline over cap", Spec{Op: "lu", N: 64, DeadlineMS: int64(time.Hour / time.Millisecond * 100)}, http.StatusBadRequest},
+		{"bad data length", Spec{Op: "lu", N: 64, Data: []float64{1, 2, 3}}, http.StatusBadRequest},
+		{"one multiply operand", Spec{Op: "multiply", N: 2, A: []float64{1, 2, 3, 4}}, http.StatusBadRequest},
+		{"matrixchain no dims", Spec{Op: "matrixchain"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, _ := postJob(t, ts, tc.spec)
+		resp.Body.Close()
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.code)
+		}
+	}
+
+	// Overflow: the single executor is busy with a slow job, the depth-1
+	// queue holds one more, the next submission must bounce with 429.
+	if _, err := s.Submit(Spec{Op: "apsp", N: 512, Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let the executor pick it up
+	if _, err := s.Submit(Spec{Op: "lu", N: 64}); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postJob(t, ts, Spec{Op: "lu", N: 64})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestDeadlineAborts checks that a job blowing its deadline is failed
+// (not wedged) and reports a deadline error.
+func TestDeadlineAborts(t *testing.T) {
+	_, ts := newTestServer(t, Config{DefaultWorkers: 1})
+	resp, v := postJob(t, ts, Spec{Op: "apsp", N: 1024, DeadlineMS: 30})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusFailed || !strings.Contains(fin.Error, "deadline") {
+		t.Fatalf("finished %s (%q), want failed with deadline error", fin.Status, fin.Error)
+	}
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusConflict {
+		t.Fatalf("result of failed job: status %d, want 409", rr.StatusCode)
+	}
+}
+
+// TestCancelQueuedAndRunning cancels one queued and one running job
+// through the API and checks both report canceled.
+func TestCancelQueuedAndRunning(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 1, DefaultWorkers: 1})
+
+	_, running := postJob(t, ts, Spec{Op: "apsp", N: 1024})
+	time.Sleep(30 * time.Millisecond) // executor picks it up
+	_, queued := postJob(t, ts, Spec{Op: "lu", N: 64})
+
+	for _, id := range []string{queued.ID, running.ID} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %s: status %d", id, resp.StatusCode)
+		}
+	}
+	for _, id := range []string{queued.ID, running.ID} {
+		if fin := waitTerminal(t, ts, id); fin.Status != StatusCanceled {
+			t.Fatalf("job %s finished %s, want canceled", id, fin.Status)
+		}
+	}
+}
+
+// TestEventsStream reads the SSE stream of a job and checks it ends
+// with a "done" event carrying the terminal status.
+func TestEventsStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, v := postJob(t, ts, Spec{Op: "lu", N: 256})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var last, lastData string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if ev, ok := strings.CutPrefix(line, "event: "); ok {
+			last = ev
+		}
+		if d, ok := strings.CutPrefix(line, "data: "); ok {
+			lastData = d
+		}
+	}
+	if last != "done" {
+		t.Fatalf("stream ended with event %q, want done", last)
+	}
+	var fin JobView
+	if err := json.Unmarshal([]byte(lastData), &fin); err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Status.Terminal() {
+		t.Fatalf("done event carries non-terminal status %s", fin.Status)
+	}
+}
+
+// TestOpsMatrixChainAndClosure covers the two non-pow2 ops end to end.
+func TestOpsMatrixChainAndClosure(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	_, v := postJob(t, ts, Spec{Op: "matrixchain", Dims: []int{10, 30, 5, 60}})
+	fin := waitTerminal(t, ts, v.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("matrixchain finished %s (%s)", fin.Status, fin.Error)
+	}
+	res, err := s.ResultOf(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost == nil || *res.Cost != 4500 {
+		t.Fatalf("matrixchain cost = %v, want 4500", res.Cost)
+	}
+	if res.Order == "" {
+		t.Fatal("matrixchain returned no parenthesization")
+	}
+
+	// A 3-node path: closure must add the transitive 0→2 edge.
+	_, v = postJob(t, ts, Spec{Op: "closure", N: 3, Data: []float64{
+		1, 1, 0,
+		0, 1, 1,
+		0, 0, 1,
+	}})
+	if fin = waitTerminal(t, ts, v.ID); fin.Status != StatusDone {
+		t.Fatalf("closure finished %s (%s)", fin.Status, fin.Error)
+	}
+	res, err = s.ResultOf(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := *res.Data[0*3+2]; got != 1 {
+		t.Fatalf("closure missed the transitive edge 0->2 (got %v)", got)
+	}
+}
+
+// TestShutdownDrains submits jobs, begins shutdown mid-flight with a
+// generous context, and checks every admitted job still completes
+// while new submissions are refused with 503.
+func TestShutdownDrains(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 2, DefaultWorkers: 2})
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		resp, v := postJob(t, ts, Spec{Op: "lu", N: 256, Seed: int64(i)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown(ctx) }()
+
+	// Admission must close promptly even while draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := postJob(t, ts, Spec{Op: "lu", N: 64})
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("draining server kept accepting jobs")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+	for i, id := range ids {
+		v, ok := s.Get(id)
+		if !ok {
+			t.Fatalf("job %d evicted during drain", i)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("job %d finished %s (%s), want done after drain", i, v.Status, v.Error)
+		}
+	}
+}
+
+// TestShutdownAbortsOnExpiry checks the other shutdown arm: a context
+// that expires immediately forces in-flight jobs to cancel rather
+// than letting Shutdown block.
+func TestShutdownAbortsOnExpiry(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, DefaultWorkers: 1})
+	if _, err := s.Submit(Spec{Op: "apsp", N: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(Spec{Op: "lu", N: 256}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Shutdown(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
+	}
+	if el := time.Since(start); el > 20*time.Second {
+		t.Fatalf("abort path took %v — in-flight jobs were not interrupted", el)
+	}
+	for _, v := range s.List() {
+		if !v.Status.Terminal() {
+			t.Fatalf("job %s left %s after forced shutdown", v.ID, v.Status)
+		}
+	}
+}
+
+// TestMetricsEndpoint checks /metrics exposes the aggregate plus the
+// finished job's private counters, and /debug/vars serves expvar.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	_, v := postJob(t, ts, Spec{Op: "lu", N: 128})
+	waitTerminal(t, ts, v.ID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body struct {
+		Aggregate map[string]int64            `json:"aggregate"`
+		Jobs      map[string]map[string]int64 `json:"jobs"`
+	}
+	decodeBody(t, resp, &body)
+	jm, ok := body.Jobs[v.ID]
+	if !ok {
+		t.Fatalf("/metrics lacks job %s; have %v", v.ID, body.Jobs)
+	}
+	if jm["par.spawn.pooled"]+jm["par.spawn.inline"] == 0 {
+		t.Fatalf("job %s counters empty: %v", v.ID, jm)
+	}
+
+	dv, err := http.Get(ts.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(dv.Body)
+	dv.Body.Close()
+	if !bytes.Contains(raw, []byte("gep.metrics")) {
+		t.Fatal("/debug/vars does not publish gep.metrics")
+	}
+}
+
+// TestHealthz checks the health endpoint flips to draining.
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	get := func() string {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b map[string]string
+		decodeBody(t, resp, &b)
+		return b["status"]
+	}
+	if st := get(); st != "ok" {
+		t.Fatalf("healthz = %q, want ok", st)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := get(); st != "draining" {
+		t.Fatalf("healthz after Shutdown = %q, want draining", st)
+	}
+}
+
+// TestRetention checks finished jobs are evicted oldest-first once
+// the retention bound is exceeded.
+func TestRetention(t *testing.T) {
+	_, ts := newTestServer(t, Config{RetainJobs: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		_, v := postJob(t, ts, Spec{Op: "matrixchain", Dims: []int{2, 3, 4}})
+		waitTerminal(t, ts, v.ID)
+		ids = append(ids, v.ID)
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("oldest job still present: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	decodeBody(t, resp, &list)
+	if len(list.Jobs) != 2 {
+		t.Fatalf("retained %d jobs, want 2", len(list.Jobs))
+	}
+}

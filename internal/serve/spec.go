@@ -1,0 +1,280 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"gep/internal/apsp"
+	"gep/internal/dp"
+	"gep/internal/linalg"
+	"gep/internal/matrix"
+	"gep/internal/par"
+)
+
+// Spec is a submitted job description: the JSON body of POST /v1/jobs.
+// Exactly one problem is described; inputs come either from Data/A/B
+// (explicit, row-major) or are generated deterministically from Seed.
+// The full schema, with per-op semantics and examples, is documented
+// in docs/API.md.
+type Spec struct {
+	// Op selects the computation: "multiply" (c = a·b), "lu" (in-place
+	// LU factors), "gauss" (in-place Gaussian elimination), "apsp"
+	// (all-pairs shortest paths), "closure" (boolean transitive
+	// closure), or "matrixchain" (optimal parenthesization).
+	Op string `json:"op"`
+	// N is the problem side length. The dense-matrix ops (multiply,
+	// lu, gauss, apsp) require a power of two; closure accepts any
+	// side; matrixchain ignores N and uses Dims.
+	N int `json:"n,omitempty"`
+	// Seed generates deterministic random inputs when no explicit data
+	// is supplied (the same seed always produces the same inputs).
+	Seed int64 `json:"seed,omitempty"`
+	// Data is the explicit row-major n×n input for the single-matrix
+	// ops. For "apsp" a zero off-diagonal cell means "no edge"; for
+	// "closure" nonzero means an edge.
+	Data []float64 `json:"data,omitempty"`
+	// A and B are the explicit row-major operands of "multiply".
+	A []float64 `json:"a,omitempty"`
+	B []float64 `json:"b,omitempty"`
+	// Dims is the matrix-chain dimension vector for "matrixchain"
+	// (len(Dims) = #matrices + 1).
+	Dims []int `json:"dims,omitempty"`
+	// Workers is the job's par.Runtime worker budget; 0 takes the
+	// server default, and values above the server's cap are rejected.
+	Workers int `json:"workers,omitempty"`
+	// DeadlineMS is the job deadline in milliseconds from the moment
+	// it starts running; 0 takes the server default, values above the
+	// server cap are rejected.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// Result is a finished job's payload: the JSON body of
+// GET /v1/jobs/{id}/result.
+type Result struct {
+	// ID, Op, N echo the job identity.
+	ID string `json:"id"`
+	Op string `json:"op"`
+	N  int    `json:"n,omitempty"`
+	// Data is the row-major output matrix for the matrix ops. For
+	// "apsp", unreachable pairs are encoded as null (JSON has no
+	// +Inf); for "closure", cells are 0 or 1.
+	Data []*float64 `json:"data,omitempty"`
+	// Cost and Order are the "matrixchain" outputs: the minimal scalar
+	// multiplication count and an optimal parenthesization.
+	Cost  *float64 `json:"cost,omitempty"`
+	Order string   `json:"order,omitempty"`
+	// WallMS is the measured execution wall time in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// ops maps an op name to its validation needs and executor. Engines
+// run at the facade's tuned base/grain (64/128).
+var ops = map[string]struct {
+	pow2    bool // n must be a power of two
+	needsN  bool
+	execute func(spec *Spec, rt *par.Runtime) (*Result, error)
+}{
+	"multiply":    {pow2: true, needsN: true, execute: execMultiply},
+	"lu":          {pow2: true, needsN: true, execute: execLU},
+	"gauss":       {pow2: true, needsN: true, execute: execGauss},
+	"apsp":        {pow2: true, needsN: true, execute: execAPSP},
+	"closure":     {needsN: true, execute: execClosure},
+	"matrixchain": {execute: execMatrixChain},
+}
+
+// validate checks a decoded Spec against the server's admission caps
+// and returns a client-facing error describing the first problem.
+func (s *Spec) validate(maxN int) error {
+	op, ok := ops[s.Op]
+	if !ok {
+		return fmt.Errorf("unknown op %q (want multiply, lu, gauss, apsp, closure or matrixchain)", s.Op)
+	}
+	if op.needsN {
+		if s.N < 1 {
+			return fmt.Errorf("op %q requires n >= 1", s.Op)
+		}
+		if op.pow2 && !matrix.IsPow2(s.N) {
+			return fmt.Errorf("op %q requires a power-of-two n, got %d", s.Op, s.N)
+		}
+	}
+	if s.Op == "matrixchain" {
+		if len(s.Dims) < 2 {
+			return fmt.Errorf(`op "matrixchain" requires dims with at least 2 entries`)
+		}
+		if len(s.Dims) > maxN {
+			return fmt.Errorf("dims length %d exceeds the server cap %d", len(s.Dims), maxN)
+		}
+		for _, d := range s.Dims {
+			if d < 1 {
+				return fmt.Errorf("dims entries must be >= 1")
+			}
+		}
+	}
+	for name, d := range map[string][]float64{"data": s.Data, "a": s.A, "b": s.B} {
+		if len(d) != 0 && len(d) != s.N*s.N {
+			return fmt.Errorf("%s has %d cells, want n*n = %d", name, len(d), s.N*s.N)
+		}
+	}
+	if s.Op == "multiply" && (len(s.A) == 0) != (len(s.B) == 0) {
+		return fmt.Errorf(`op "multiply" requires both a and b, or neither (seed-generated)`)
+	}
+	return nil
+}
+
+// tooLarge reports whether the job exceeds the server's size cap,
+// which is admission control (HTTP 413), not spec validity.
+func (s *Spec) tooLarge(maxN int) bool { return s.N > maxN }
+
+// execute runs the job's computation with every fork confined to rt.
+// It is called on an executor goroutine; the caller handles deadline
+// and cancellation by aborting rt.
+func (s *Spec) execute(rt *par.Runtime) (*Result, error) {
+	return ops[s.Op].execute(s, rt)
+}
+
+// Engines run at a small base and grain so even modest jobs exercise
+// their runtime's fork-join pool (the per-job counters are the
+// isolation evidence, so forking must actually happen).
+const (
+	execBase  = 32
+	execGrain = 32
+)
+
+// fromFlat builds an n×n dense matrix from explicit row-major data.
+func fromFlat(n int, flat []float64) *matrix.Dense[float64] {
+	m := matrix.NewSquare[float64](n)
+	for i := 0; i < n; i++ {
+		copy(m.Row(i), flat[i*n:(i+1)*n])
+	}
+	return m
+}
+
+// randMatrix generates the deterministic seed input: uniform [0, 1)
+// entries, plus n on the diagonal when dominant (so LU and Gaussian
+// elimination never hit a zero pivot).
+func randMatrix(n int, seed int64, dominant bool) *matrix.Dense[float64] {
+	rng := rand.New(rand.NewSource(seed))
+	m := matrix.NewSquare[float64](n)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		if dominant {
+			row[i] += float64(n)
+		}
+	}
+	return m
+}
+
+// finite encodes a result matrix for JSON: +Inf (unreachable apsp
+// pairs) becomes null.
+func finite(m *matrix.Dense[float64]) []*float64 {
+	n := m.N()
+	out := make([]*float64, 0, n*n)
+	for i := 0; i < n; i++ {
+		for _, v := range m.Row(i) {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				out = append(out, nil)
+			} else {
+				v := v
+				out = append(out, &v)
+			}
+		}
+	}
+	return out
+}
+
+func execMultiply(s *Spec, rt *par.Runtime) (*Result, error) {
+	var a, b *matrix.Dense[float64]
+	if len(s.A) > 0 {
+		a, b = fromFlat(s.N, s.A), fromFlat(s.N, s.B)
+	} else {
+		a, b = randMatrix(s.N, s.Seed, false), randMatrix(s.N, s.Seed+1, false)
+	}
+	c := matrix.NewSquare[float64](s.N)
+	linalg.MulFusedParallelOn(rt, c, a, b, execBase, execGrain)
+	return &Result{Data: finite(c)}, nil
+}
+
+func inPlaceInput(s *Spec) *matrix.Dense[float64] {
+	if len(s.Data) > 0 {
+		return fromFlat(s.N, s.Data)
+	}
+	return randMatrix(s.N, s.Seed, true)
+}
+
+func execLU(s *Spec, rt *par.Runtime) (*Result, error) {
+	m := inPlaceInput(s)
+	linalg.LUFusedParallelOn(rt, m, execBase, execGrain)
+	return &Result{Data: finite(m)}, nil
+}
+
+func execGauss(s *Spec, rt *par.Runtime) (*Result, error) {
+	m := inPlaceInput(s)
+	linalg.GaussFusedParallelOn(rt, m, execBase, execGrain)
+	return &Result{Data: finite(m)}, nil
+}
+
+func execAPSP(s *Spec, rt *par.Runtime) (*Result, error) {
+	var d *matrix.Dense[float64]
+	if len(s.Data) > 0 {
+		// Explicit weights: zero off-diagonal = no edge = +Inf.
+		d = matrix.NewSquare[float64](s.N)
+		for i := 0; i < s.N; i++ {
+			row := d.Row(i)
+			for j := range row {
+				switch v := s.Data[i*s.N+j]; {
+				case i == j:
+					row[j] = 0
+				case v == 0:
+					row[j] = apsp.Inf
+				default:
+					row[j] = v
+				}
+			}
+		}
+	} else {
+		g := apsp.Random(s.N, 0.25, 100, s.Seed)
+		d = g.DistanceMatrix()
+	}
+	apsp.FWFusedParallelOn(rt, d, execBase, execGrain)
+	return &Result{Data: finite(d)}, nil
+}
+
+func execClosure(s *Spec, rt *par.Runtime) (*Result, error) {
+	reach := matrix.NewSquare[bool](s.N)
+	if len(s.Data) > 0 {
+		for i := 0; i < s.N; i++ {
+			for j := 0; j < s.N; j++ {
+				reach.Set(i, j, s.Data[i*s.N+j] != 0)
+			}
+		}
+	} else {
+		rng := rand.New(rand.NewSource(s.Seed))
+		for i := 0; i < s.N; i++ {
+			for j := 0; j < s.N; j++ {
+				reach.Set(i, j, rng.Float64() < 0.1)
+			}
+		}
+	}
+	apsp.ClosureParallelOn(rt, reach, execBase)
+	out := make([]*float64, 0, s.N*s.N)
+	zero, one := 0.0, 1.0
+	for i := 0; i < s.N; i++ {
+		for j := 0; j < s.N; j++ {
+			if reach.At(i, j) {
+				out = append(out, &one)
+			} else {
+				out = append(out, &zero)
+			}
+		}
+	}
+	return &Result{Data: out}, nil
+}
+
+func execMatrixChain(s *Spec, _ *par.Runtime) (*Result, error) {
+	cost, order := dp.MatrixChainOrder(s.Dims)
+	return &Result{Cost: &cost, Order: order}, nil
+}
