@@ -239,6 +239,21 @@ func MultiplyParallel(c, a, b *Matrix[float64]) {
 	linalg.MulIGEPParallel(c, a, b, 64, 128)
 }
 
+// MultiplyStrassen computes c = a·b (overwriting c, which must not
+// alias a or b) with the sub-cubic Strassen-Winograd recursion over
+// the fused classical kernels: O(n^lg7) work, deterministic output,
+// any side length. Elementwise error vs the classical product is
+// within linalg.StrassenErrorBound. See DESIGN.md §15.
+func MultiplyStrassen(c, a, b *Matrix[float64]) {
+	linalg.MulStrassen(c, a, b)
+}
+
+// MultiplyStrassenParallel is MultiplyStrassen on goroutines; the
+// result is bit-identical to the serial MultiplyStrassen.
+func MultiplyStrassenParallel(c, a, b *Matrix[float64]) {
+	linalg.MulStrassenParallel(c, a, b)
+}
+
 // FloydWarshall computes all-pairs shortest path distances in place:
 // d holds edge weights (+Inf for no edge, 0 diagonal) and is replaced
 // by shortest-path distances. Any side length is accepted.

@@ -118,6 +118,33 @@ func TestMultiply(t *testing.T) {
 	}
 }
 
+func TestMultiplyStrassen(t *testing.T) {
+	for _, n := range []int{64, 97} { // pow2 and odd (peeled) sides
+		rng := rand.New(rand.NewSource(4))
+		a := gep.NewMatrix[float64](n)
+		b := gep.NewMatrix[float64](n)
+		a.Apply(func(i, j int, _ float64) float64 { return rng.Float64()*2 - 1 })
+		b.Apply(func(i, j int, _ float64) float64 { return rng.Float64()*2 - 1 })
+		c := gep.NewMatrix[float64](n)
+		gep.MultiplyStrassen(c, a, b)
+		cp := gep.NewMatrix[float64](n)
+		gep.MultiplyStrassenParallel(cp, a, b)
+		if !c.EqualFunc(cp, func(x, y float64) bool { return x == y }) {
+			t.Fatal("MultiplyStrassenParallel not bit-identical to MultiplyStrassen")
+		}
+		for _, ij := range [][2]int{{0, 0}, {3, 7}, {n - 1, 1}, {n / 2, n / 2}} {
+			i, j := ij[0], ij[1]
+			dot := 0.0
+			for k := 0; k < n; k++ {
+				dot += a.At(i, k) * b.At(k, j)
+			}
+			if math.Abs(c.At(i, j)-dot) > 1e-9 {
+				t.Fatalf("MultiplyStrassen n=%d wrong at (%d,%d): %g vs %g", n, i, j, c.At(i, j), dot)
+			}
+		}
+	}
+}
+
 func TestFloydWarshallNonPow2(t *testing.T) {
 	d := gep.FromRows([][]float64{
 		{0, 4, math.Inf(1)},

@@ -1,0 +1,34 @@
+package core
+
+// DisjointBlock executes one all-D base-case block of side s over flat
+// row-major storage: x[i,j] ← f(x[i,j], u[i,k], v[k,j], w[k,k]) for
+// every ⟨i,j,k⟩ of the set inside the local [0,s)³ cube, k ascending
+// per cell. It is the RunDisjoint base case detached from the
+// power-of-two recursion — same kernel-hierarchy dispatch
+// (fused DisjointKerneler first, then the Ranger-hoisted flat loop),
+// same counters, same bit-exact update order — exposed for engines
+// whose recursion shape is not the 8-way GEP octree and whose leaf
+// sides need not be powers of two: the Strassen-Winograd multiply
+// (internal/linalg, internal/ooc) bottoms out here.
+//
+// The slices address the block locally: element (i, j) of X lives at
+// x[i*xs+j], and likewise for u, v, w. Aliased operands (e.g. v == w
+// for multiplication) are the caller's choice, exactly as with
+// RunDisjoint.
+func DisjointBlock[T any](op Op[T], set UpdateSet, x []T, xs int, u []T, us int, v []T, vs int, w []T, ws int, s int) {
+	rg, _ := set.(Ranger)
+	if dk, ok := op.(DisjointKerneler[T]); ok && dk.DisjointKernel(x, xs, u, us, v, vs, w, ws, rg, 0, 0, 0, s) {
+		kernelFusedCount.Inc()
+		return
+	}
+	st := &disjointState[T]{
+		f:   op.Func(),
+		set: set,
+		cfg: &config[T]{ranger: rg},
+		fx:  flatRect[T]{data: x, stride: xs, ok: true},
+		fu:  flatRect[T]{data: u, stride: us, ok: true},
+		fv:  flatRect[T]{data: v, stride: vs, ok: true},
+		fw:  flatRect[T]{data: w, stride: ws, ok: true},
+	}
+	st.kernelFlat(0, 0, 0, s)
+}

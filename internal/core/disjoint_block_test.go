@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gep/internal/matrix"
+)
+
+// flatOfDense extracts the backing slice/stride of a dense square.
+func flatOfDense(t *testing.T, m *matrix.Dense[float64]) ([]float64, int) {
+	t.Helper()
+	d, stride, ok := matrix.Flat[float64](m)
+	if !ok {
+		t.Fatalf("dense matrix has no flat form")
+	}
+	return d, stride
+}
+
+// TestDisjointBlockMatchesRunDisjoint: on power-of-two sides the
+// detached base-case entry must be bitwise identical to the full
+// RunDisjoint recursion with base size ≥ s (which executes exactly one
+// base-case block).
+func TestDisjointBlockMatchesRunDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, s := range []int{1, 2, 4, 8, 16, 64} {
+		a, b := randFloatMatrix(rng, s), randFloatMatrix(rng, s)
+		want := matrix.NewSquare[float64](s)
+		RunDisjoint[float64](want, a, b, b, MulAdd[float64]{}, Full{}, WithBaseSize[float64](64))
+		got := matrix.NewSquare[float64](s)
+		gd, gs := flatOfDense(t, got)
+		ad, as := flatOfDense(t, a)
+		bd, bs := flatOfDense(t, b)
+		DisjointBlock[float64](MulAdd[float64]{}, Full{}, gd, gs, ad, as, bd, bs, bd, bs, s)
+		if !got.EqualFunc(want, sameBits) {
+			t.Fatalf("s=%d: DisjointBlock differs from RunDisjoint base case", s)
+		}
+	}
+}
+
+// TestDisjointBlockAnySide: non-power-of-two sides (which RunDisjoint
+// rejects) against a direct ascending-k triple loop with the fused
+// kernels' two-rounding discipline.
+func TestDisjointBlockAnySide(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, s := range []int{3, 5, 6, 12, 17, 48, 100} {
+		a, b := randFloatMatrix(rng, s), randFloatMatrix(rng, s)
+		want := matrix.NewSquare[float64](s)
+		for k := 0; k < s; k++ {
+			for i := 0; i < s; i++ {
+				for j := 0; j < s; j++ {
+					x := want.At(i, j)
+					u := a.At(i, k) * b.At(k, j)
+					want.Set(i, j, x+u)
+				}
+			}
+		}
+		got := matrix.NewSquare[float64](s)
+		gd, gs := flatOfDense(t, got)
+		ad, as := flatOfDense(t, a)
+		bd, bs := flatOfDense(t, b)
+		before := kernelFusedCount.Value()
+		DisjointBlock[float64](MulAdd[float64]{}, Full{}, gd, gs, ad, as, bd, bs, bd, bs, s)
+		if !got.EqualFunc(want, sameBits) {
+			t.Fatalf("s=%d: DisjointBlock differs from direct ascending-k loop", s)
+		}
+		if s >= 4 && kernelFusedCount.Value() == before {
+			t.Fatalf("s=%d: fused kernel never dispatched", s)
+		}
+	}
+}
+
+// TestDisjointBlockMinPlus: a second op exercises the generic
+// fallback routing through the same entry.
+func TestDisjointBlockMinPlus(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	s := 24
+	a, b := randFloatMatrix(rng, s), randFloatMatrix(rng, s)
+	want := matrix.NewSquare[float64](s)
+	want.Apply(func(i, j int, _ float64) float64 { return 1e300 })
+	f := MinPlus[float64]{}.Func()
+	for k := 0; k < s; k++ {
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				want.Set(i, j, f(i, j, k, want.At(i, j), a.At(i, k), b.At(k, j), b.At(k, k)))
+			}
+		}
+	}
+	got := matrix.NewSquare[float64](s)
+	got.Apply(func(i, j int, _ float64) float64 { return 1e300 })
+	gd, gs := flatOfDense(t, got)
+	ad, as := flatOfDense(t, a)
+	bd, bs := flatOfDense(t, b)
+	DisjointBlock[float64](MinPlus[float64]{}, Full{}, gd, gs, ad, as, bd, bs, bd, bs, s)
+	if !got.EqualFunc(want, sameBits) {
+		t.Fatalf("DisjointBlock MinPlus differs from direct loop")
+	}
+}

@@ -9,7 +9,11 @@ import "gep/internal/metrics"
 var (
 	tileHitCount        = metrics.New("ooc.tile.hit")
 	tileFaultCount      = metrics.New("ooc.tile.fault")
+	tileFreshCount      = metrics.New("ooc.tile.fresh")
 	tileOvercommitCount = metrics.New("ooc.tile.overcommit")
+
+	scratchAllocCount = metrics.New("ooc.strassen.scratch.alloc")
+	scratchReuseCount = metrics.New("ooc.strassen.scratch.reuse")
 
 	prefetchIssuedCount = metrics.New("ooc.prefetch.issued")
 	prefetchHitCount    = metrics.New("ooc.prefetch.hit")

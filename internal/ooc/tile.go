@@ -159,6 +159,58 @@ func (s *Store) PinTile(off int64, side int) (*Tile, error) {
 	return t, nil
 }
 
+// PinTileZero pins the side×side quadrant at byte offset off as a
+// zeroed resident tile WITHOUT reading it from disk: the caller
+// declares the on-disk content irrelevant because it will fully
+// overwrite the tile before unpinning. This is how the Strassen
+// driver materializes product targets and recycled scratch tiles —
+// a fresh tile costs no read transfer, so the §4.1 accounting charges
+// scratch only for real spills (write-back and later re-read). The
+// coherence walk is the same as PinTile's (join any in-flight
+// write-back of the range — scratch offsets are recycled — then drop
+// overlapping pages and make room); an already-resident tile is
+// re-zeroed in place.
+func (s *Store) PinTileZero(off int64, side int) (*Tile, error) {
+	if t, ok := s.tc.tiles[off]; ok {
+		if t.side != side {
+			return nil, fmt.Errorf("ooc: tile at %d pinned with side %d, resident with side %d", off, side, t.side)
+		}
+		if err := s.finishLoad(t); err != nil {
+			// The failed read's content is don't-care here, but the
+			// error may be the store's sticky fault — surface it.
+			s.tc.drop(t)
+			return nil, err
+		}
+		if t.prefetched {
+			t.prefetched = false
+		}
+		if t.pins == 0 {
+			s.tc.unlinkLRU(t)
+		}
+		t.pins++
+		for i := range t.Data {
+			t.Data[i] = 0
+		}
+		tileFreshCount.Inc()
+		return t, nil
+	}
+	size := int64(side) * int64(side) * 8
+	if err := s.waitPending(off); err != nil {
+		return nil, err
+	}
+	if err := s.dropPages(off, size); err != nil {
+		return nil, err
+	}
+	if err := s.makeRoom(size); err != nil {
+		return nil, err
+	}
+	t := &Tile{off: off, side: side, Data: make([]float64, side*side), pins: 1}
+	s.tc.tiles[off] = t
+	s.tc.bytes += size
+	tileFreshCount.Inc()
+	return t, nil
+}
+
 // UnpinTile releases one pin; dirty reports whether the caller wrote
 // Data. The tile stays resident (and, once unpinned, evictable — at
 // which point a dirty tile is written back in the background).

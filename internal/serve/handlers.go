@@ -5,6 +5,7 @@ import (
 	"errors"
 	"expvar"
 	"net/http"
+	"slices"
 	"strconv"
 	"time"
 
@@ -19,6 +20,7 @@ const eventInterval = 100 * time.Millisecond
 // examples are replayed against this handler by api_examples_test.go.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/ops", s.handleOps)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
@@ -54,6 +56,23 @@ func writeErr(w http.ResponseWriter, err error) {
 	writeJSON(w, ae.status, map[string]any{
 		"error": map[string]string{"code": ae.code, "message": ae.msg},
 	})
+}
+
+// handleOps describes the submittable operations: their admission
+// constraints and, where an op has selectable algorithms, the engine
+// names the "engine" field accepts — multiply advertises
+// "strassen": true so clients can feature-detect the sub-cubic path.
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{}
+	for name, op := range ops {
+		info := map[string]any{"pow2": op.pow2, "needs_n": op.needsN}
+		if len(op.engines) > 0 {
+			info["engines"] = op.engines
+			info["strassen"] = slices.Contains(op.engines, "strassen")
+		}
+		out[name] = info
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ops": out})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"gep/internal/linalg"
 )
 
 // newTestServer starts a server over httptest and tears both down at
@@ -167,6 +169,71 @@ func TestConcurrentJobIsolation(t *testing.T) {
 	}
 }
 
+// TestMultiplyEngineStrassen submits the same multiply twice — default
+// classical engine and "engine": "strassen" — and requires the
+// Strassen result to agree with the classical one within the engine's
+// published error bound; /v1/ops must advertise the engine.
+func TestMultiplyEngineStrassen(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, DefaultWorkers: 2, MaxWorkers: 4})
+
+	const n = 64
+	specs := []Spec{
+		{Op: "multiply", N: n, Seed: 11},
+		{Op: "multiply", N: n, Seed: 11, Engine: "strassen"},
+	}
+	results := make([]Result, len(specs))
+	for i, spec := range specs {
+		resp, v := postJob(t, ts, spec)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit engine=%q: status %d", spec.Engine, resp.StatusCode)
+		}
+		if fin := waitTerminal(t, ts, v.ID); fin.Status != StatusDone {
+			t.Fatalf("engine=%q finished %s (%s)", spec.Engine, fin.Status, fin.Error)
+		}
+		rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+		if err != nil {
+			t.Fatal(err)
+		}
+		decodeBody(t, rr, &results[i])
+	}
+	a, b := randMatrix(n, 11, false), randMatrix(n, 12, false)
+	var maxA, maxB float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			maxA = math.Max(maxA, math.Abs(a.At(i, j)))
+			maxB = math.Max(maxB, math.Abs(b.At(i, j)))
+		}
+	}
+	bound := linalg.StrassenErrorBound(n, 32, maxA, maxB)
+	for i := range results[0].Data {
+		cl, st := results[0].Data[i], results[1].Data[i]
+		if cl == nil || st == nil {
+			t.Fatalf("cell %d: nil output", i)
+		}
+		if d := math.Abs(*cl - *st); d > bound {
+			t.Fatalf("cell %d: |classical-strassen| = %g exceeds bound %g", i, d, bound)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caps struct {
+		Ops map[string]struct {
+			Engines  []string `json:"engines"`
+			Strassen bool     `json:"strassen"`
+		} `json:"ops"`
+	}
+	decodeBody(t, resp, &caps)
+	if mul, ok := caps.Ops["multiply"]; !ok || !mul.Strassen || len(mul.Engines) != 2 {
+		t.Fatalf("/v1/ops multiply capabilities: %+v", caps.Ops["multiply"])
+	}
+	if lu, ok := caps.Ops["lu"]; !ok || lu.Strassen || lu.Engines != nil {
+		t.Fatalf("/v1/ops lu should not advertise engines: %+v", caps.Ops["lu"])
+	}
+}
+
 // TestAdmissionControl exercises every rejection path: bad op, bad
 // size, oversized job, queue overflow, worker/deadline caps.
 func TestAdmissionControl(t *testing.T) {
@@ -185,6 +252,8 @@ func TestAdmissionControl(t *testing.T) {
 		{"bad data length", Spec{Op: "lu", N: 64, Data: []float64{1, 2, 3}}, http.StatusBadRequest},
 		{"one multiply operand", Spec{Op: "multiply", N: 2, A: []float64{1, 2, 3, 4}}, http.StatusBadRequest},
 		{"matrixchain no dims", Spec{Op: "matrixchain"}, http.StatusBadRequest},
+		{"unknown engine", Spec{Op: "multiply", N: 64, Engine: "coppersmith"}, http.StatusBadRequest},
+		{"engine on engineless op", Spec{Op: "lu", N: 64, Engine: "strassen"}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		resp, _ := postJob(t, ts, tc.spec)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"slices"
+	"strings"
 
 	"gep/internal/apsp"
 	"gep/internal/dp"
@@ -37,6 +39,11 @@ type Spec struct {
 	// A and B are the explicit row-major operands of "multiply".
 	A []float64 `json:"a,omitempty"`
 	B []float64 `json:"b,omitempty"`
+	// Engine selects the multiply algorithm: "" or "classical" for the
+	// fused Θ(n³) recursion, "strassen" for the sub-cubic
+	// Strassen-Winograd hybrid. Only "multiply" takes an engine;
+	// unknown names and engines on other ops are rejected with a 400.
+	Engine string `json:"engine,omitempty"`
 	// Dims is the matrix-chain dimension vector for "matrixchain"
 	// (len(Dims) = #matrices + 1).
 	Dims []int `json:"dims,omitempty"`
@@ -73,9 +80,10 @@ type Result struct {
 var ops = map[string]struct {
 	pow2    bool // n must be a power of two
 	needsN  bool
+	engines []string // selectable algorithms; empty = no engine field
 	execute func(spec *Spec, rt *par.Runtime) (*Result, error)
 }{
-	"multiply":    {pow2: true, needsN: true, execute: execMultiply},
+	"multiply":    {pow2: true, needsN: true, engines: []string{"classical", "strassen"}, execute: execMultiply},
 	"lu":          {pow2: true, needsN: true, execute: execLU},
 	"gauss":       {pow2: true, needsN: true, execute: execGauss},
 	"apsp":        {pow2: true, needsN: true, execute: execAPSP},
@@ -118,6 +126,15 @@ func (s *Spec) validate(maxN int) error {
 	}
 	if s.Op == "multiply" && (len(s.A) == 0) != (len(s.B) == 0) {
 		return fmt.Errorf(`op "multiply" requires both a and b, or neither (seed-generated)`)
+	}
+	if s.Engine != "" {
+		if len(op.engines) == 0 {
+			return fmt.Errorf("op %q does not take an engine", s.Op)
+		}
+		if !slices.Contains(op.engines, s.Engine) {
+			return fmt.Errorf("unknown engine %q for op %q (want %s)",
+				s.Engine, s.Op, strings.Join(op.engines, " or "))
+		}
 	}
 	return nil
 }
@@ -194,7 +211,14 @@ func execMultiply(s *Spec, rt *par.Runtime) (*Result, error) {
 		a, b = randMatrix(s.N, s.Seed, false), randMatrix(s.N, s.Seed+1, false)
 	}
 	c := matrix.NewSquare[float64](s.N)
-	linalg.MulFusedParallelOn(rt, c, a, b, execBase, execGrain)
+	if s.Engine == "strassen" {
+		// Crossover 32 rather than the wall-clock-tuned default so
+		// even modest jobs actually recurse sub-cubically (and fork on
+		// the job's private runtime), mirroring execBase/execGrain.
+		linalg.MulStrassenParallelOn(rt, c, a, b, linalg.WithCrossover(32))
+	} else {
+		linalg.MulFusedParallelOn(rt, c, a, b, execBase, execGrain)
+	}
 	return &Result{Data: finite(c)}, nil
 }
 
