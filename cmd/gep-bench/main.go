@@ -11,6 +11,7 @@
 //	gep-bench [flags] all
 //	gep-bench [flags] <experiment> [<experiment>...]
 //	gep-bench compare [-threshold r] <old> <new>
+//	gep-bench oocrun -dir DIR [flags]
 //
 // Flags:
 //
@@ -25,6 +26,10 @@
 // of BENCH_*.json files, matched by experiment — row by row and exits
 // with status 1 if any row's wall time regressed by more than the
 // threshold ratio (default 1.5).
+//
+// The oocrun subcommand runs one resumable out-of-core computation
+// against a durable striped store — the crash-recovery drill driven by
+// scripts/recovery-matrix.sh; see oocrun.go for the output protocol.
 //
 // Experiments: table1 table2 fig7a fig7b fig8 fig9 fig10 fig11 fig12
 // ooc incore scaling gf2 serve ablation-base ablation-layout
@@ -45,6 +50,9 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "compare" {
 		os.Exit(runCompare(os.Args[2:]))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "oocrun" {
+		os.Exit(runOOC(os.Args[2:]))
 	}
 
 	scaleFlag := flag.String("scale", "small", "experiment size: small (seconds) or full (minutes)")
@@ -204,5 +212,6 @@ func runCompare(args []string) int {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: gep-bench [flags] list | all | <experiment>...")
 	fmt.Fprintln(os.Stderr, "       gep-bench compare [-threshold r] <old> <new>")
+	fmt.Fprintln(os.Stderr, "       gep-bench oocrun -dir DIR [flags]")
 	flag.PrintDefaults()
 }

@@ -1,0 +1,103 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Tile compression: zero-run-length over 8-byte words. GEP working
+// sets are float64 tiles, and the compressible ones in practice are
+// the structurally sparse ones — banded factors, untouched scratch,
+// zero-initialized products — where entire words are zero. The codec
+// therefore only distinguishes zero words from literal words:
+//
+//	0x00 uvarint(n)             n zero words
+//	0x01 uvarint(n) n×8 bytes   n literal words, verbatim
+//
+// A tile whose encoding is not strictly smaller than its raw form is
+// stored raw (the tileCompressed flag stays clear), so compression can
+// never inflate physical I/O; dense random tiles cost one failed
+// encode pass (a single scan) and are then written raw. The split
+// between logical bytes (always side²·8) and physical bytes (the
+// encoded payload) is what Stats.BytesLogical/BytesPhysical report,
+// keeping the §4.1 transfer accounting honest — see DESIGN.md §16.
+
+// errCompress reports a corrupt compressed payload (distinct from a
+// checksum mismatch: the checksum guards the physical bytes, this
+// guards the structural validity of their decoding).
+var errCompress = fmt.Errorf("ooc: corrupt compressed tile payload")
+
+// zrleEncode compresses src (len a multiple of 8) and returns the
+// encoding, or nil when the encoding would not be strictly smaller
+// than src (incompressible — store raw).
+func zrleEncode(src []byte) []byte {
+	words := len(src) / 8
+	dst := make([]byte, 0, len(src)/2)
+	var scratch [binary.MaxVarintLen64]byte
+	for w := 0; w < words; {
+		run := w
+		for run < words && isZeroWord(src[run*8:]) {
+			run++
+		}
+		if run > w {
+			dst = append(dst, 0x00)
+			dst = append(dst, scratch[:binary.PutUvarint(scratch[:], uint64(run-w))]...)
+			w = run
+			continue
+		}
+		lit := w
+		for lit < words && !isZeroWord(src[lit*8:]) {
+			lit++
+		}
+		dst = append(dst, 0x01)
+		dst = append(dst, scratch[:binary.PutUvarint(scratch[:], uint64(lit-w))]...)
+		dst = append(dst, src[w*8:lit*8]...)
+		if len(dst) >= len(src) {
+			return nil // already no smaller than raw; give up early
+		}
+		w = lit
+	}
+	if len(dst) >= len(src) {
+		return nil
+	}
+	return dst
+}
+
+// zrleDecode decompresses src into dst (whose length is the exact
+// logical size). Any structural violation — token overrun, bad varint,
+// short literals, wrong total — returns errCompress; dst may then hold
+// partial data and must be discarded.
+func zrleDecode(dst, src []byte) error {
+	words := len(dst) / 8
+	w := 0
+	for len(src) > 0 {
+		tok := src[0]
+		src = src[1:]
+		n, k := binary.Uvarint(src)
+		if k <= 0 || n > uint64(words-w) {
+			return errCompress
+		}
+		src = src[k:]
+		switch tok {
+		case 0x00:
+			clear(dst[w*8 : (w+int(n))*8])
+		case 0x01:
+			if uint64(len(src)) < n*8 {
+				return errCompress
+			}
+			copy(dst[w*8:], src[:n*8])
+			src = src[n*8:]
+		default:
+			return errCompress
+		}
+		w += int(n)
+	}
+	if w != words {
+		return errCompress
+	}
+	return nil
+}
+
+func isZeroWord(b []byte) bool {
+	return binary.LittleEndian.Uint64(b) == 0
+}

@@ -6,7 +6,8 @@
 // that converts transfer counts into the "I/O wait time" the paper
 // plots in Figure 7 — the role STXXL plays in the paper.
 //
-// The store has two caching regimes over one backing file:
+// The store has two caching regimes over a striped set of backing
+// files:
 //
 //   - The element regime: an LRU page cache of page (block) size B
 //     with dirty write-back, serving ReadFloat/WriteFloat one value at
@@ -25,9 +26,26 @@
 // The two regimes are kept coherent conservatively: pinning a tile
 // flushes and drops the pages overlapping it, and an element access
 // while any tile state exists first syncs the tile cache (SyncTiles).
-// Background tasks run on the internal/par runtime, bounded by
-// Config.WriteBehind; the driver-facing API (element access, pin,
-// sync) must be used from one goroutine at a time.
+// Background tasks run on the internal/par runtime (Config.Runtime),
+// bounded by Config.WriteBehind per stripe; the driver-facing API
+// (element access, pin, sync) must be used from one goroutine at a
+// time.
+//
+// The storage layer underneath is production-grade (see DESIGN.md
+// §16): the logical byte space stripes RAID-0 style across
+// Config.Stripes backing files in Config.StripeUnit chunks, every
+// tile payload carries an XXH64 checksum verified on each fault-in
+// (mismatches surface as ErrCorrupt with the tile's identity), and
+// Config.Compress adds word-level zero-run compression with
+// Stats.BytesLogical vs BytesPhysical keeping the §4.1 accounting
+// honest. Stores created with CreateAt (or reopened with Open) are
+// additionally durable: tile write-backs route through a write-ahead
+// journal, Checkpoint commits a sync point with fsync barriers, and
+// after a crash Recover discards any torn journal tail, replays
+// committed-but-unapplied tiles, and reports the resumable frontier —
+// RunOptions.CheckpointEvery/StartBlock turn that into killed runs
+// that resume bit-identically (scripts/recovery-matrix.sh proves it
+// by SIGKILLing real runs at every sync point).
 //
 // I/O failures never panic. APIs that can return errors do
 // (PinTile, SyncTiles, Flush, Close, RunIGEP, Load, Unload); the

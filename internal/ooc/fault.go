@@ -4,17 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync/atomic"
 	"time"
 )
 
-// Raw-transfer layer: every byte that moves between the store and its
-// backing file goes through readAt/writeAt, which add the two failure
-// policies of Config — deterministic fault injection (FaultEvery) in
-// front of the file, and bounded retry-with-backoff (MaxRetries,
-// RetryBackoff) behind every failure. Keeping the policies here means
-// the page cache, the tile cache, and the write-behind tasks all
-// inherit them without any per-call-site handling.
+// Raw-transfer layer: every byte that moves between the store and any
+// of its backing files — stripe segments (stripe.go) and journal
+// records (journal.go) alike — goes through readAtFile/writeAtFile,
+// which add the two failure policies of Config: deterministic fault
+// injection (FaultEvery) in front of the file, and bounded
+// retry-with-backoff (MaxRetries, RetryBackoff) behind every failure.
+// Keeping the policies here means the page cache, the tile cache, the
+// write-behind tasks, and the journal all inherit them without any
+// per-call-site handling.
 
 // ErrInjected is the failure injected by Config.FaultEvery. Tests
 // match it with errors.Is to prove an injected disk fault propagated
@@ -55,16 +58,17 @@ func (s *Store) backoff(attempt int) time.Duration {
 	return d
 }
 
-// readAt fills buf from byte offset off, zero-filling past EOF (the
-// store's files are sparse: unwritten regions read as zero). Transient
-// failures are retried per the store's retry policy; exhaustion
-// returns the last error, wrapped with the offset.
-func (s *Store) readAt(buf []byte, off int64) error {
+// readAtFile fills buf from physical offset phys of f, zero-filling
+// past EOF (the store's files are sparse: unwritten regions read as
+// zero). Transient failures are retried per the store's retry policy;
+// exhaustion returns the last error, wrapped with the logical offset
+// off for identification.
+func (s *Store) readAtFile(f *os.File, buf []byte, phys, off int64) error {
 	var nr int
 	var err error
 	for attempt := 0; ; attempt++ {
 		if err = s.inject(); err == nil {
-			nr, err = s.f.ReadAt(buf, off)
+			nr, err = f.ReadAt(buf, phys)
 			if err == nil || err == io.EOF {
 				break
 			}
@@ -80,12 +84,13 @@ func (s *Store) readAt(buf []byte, off int64) error {
 	return nil
 }
 
-// writeAt writes buf at byte offset off with the same retry policy.
-func (s *Store) writeAt(buf []byte, off int64) error {
+// writeAtFile writes buf at physical offset phys of f with the same
+// retry policy.
+func (s *Store) writeAtFile(f *os.File, buf []byte, phys, off int64) error {
 	var err error
 	for attempt := 0; ; attempt++ {
 		if err = s.inject(); err == nil {
-			if _, err = s.f.WriteAt(buf, off); err == nil {
+			if _, err = f.WriteAt(buf, phys); err == nil {
 				return nil
 			}
 		}

@@ -107,11 +107,11 @@ func TestEvictionSurvivesWriteBackFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.WriteFloat(0, 42) // page 0 resident and dirty
-	name := s.f.Name()
+	name := s.files[0].Name()
 
 	// Break the disk under the store, then fault a second page, which
 	// needs to evict dirty page 0.
-	if err := s.f.Close(); err != nil {
+	if err := s.files[0].Close(); err != nil {
 		t.Fatal(err)
 	}
 	_ = s.ReadFloat(64)
@@ -131,7 +131,7 @@ func TestEvictionSurvivesWriteBackFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.f = f2
+	s.files[0] = f2
 	if err := s.Flush(); err != nil {
 		t.Fatalf("flush after repair: %v", err)
 	}
@@ -149,7 +149,7 @@ func TestCloseReturnsFlushError(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.WriteFloat(0, 1) // dirty page
-	if err := s.f.Close(); err != nil {
+	if err := s.files[0].Close(); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err == nil {
@@ -180,8 +180,8 @@ func TestWriteBehindFailureSurfacesAtSync(t *testing.T) {
 	s.UnpinTile(tile, true)
 
 	// Break the disk, then evict the dirty tile by pinning another.
-	name := s.f.Name()
-	if err := s.f.Close(); err != nil {
+	name := s.files[0].Name()
+	if err := s.files[0].Close(); err != nil {
 		t.Fatal(err)
 	}
 	t2, err := m.PinTile(1, 1)
@@ -195,7 +195,7 @@ func TestWriteBehindFailureSurfacesAtSync(t *testing.T) {
 	}
 	// Reopen so Close can clean up the temp file.
 	if f2, oerr := os.OpenFile(name, os.O_RDWR, 0); oerr == nil {
-		s.f = f2
+		s.files[0] = f2
 		s.Close()
 	}
 }

@@ -1,7 +1,9 @@
 package ooc
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"gep/internal/matrix"
 )
@@ -142,6 +144,43 @@ func (m *Matrix) Load(src *matrix.Dense[float64]) error {
 	return m.s.Err()
 }
 
+// LoadFunc fills the matrix tile by tile from f(i, j) — the scalable
+// load path: nothing is staged densely in RAM, each tile is pinned
+// fresh (no read), filled, and written back through the checksummed
+// tile path, so matrices far larger than RAM load with one tile
+// buffer resident. Requires a tile-contiguous layout.
+func (m *Matrix) LoadFunc(f func(i, j int) float64) error {
+	if m.tiling == nil {
+		return fmt.Errorf("ooc: LoadFunc needs a tile-contiguous layout (use MortonTiledLayout)")
+	}
+	side := m.tiling.Side
+	nt := m.n / side
+	for ti := 0; ti < nt; ti++ {
+		for tj := 0; tj < nt; tj++ {
+			t, err := m.s.PinTileZero(m.TileOffset(ti, tj), side)
+			if err != nil {
+				return err
+			}
+			for r := 0; r < side; r++ {
+				for c := 0; c < side; c++ {
+					t.Data[r*side+c] = f(ti*side+r, tj*side+c)
+				}
+			}
+			m.s.UnpinTile(t, true)
+		}
+	}
+	return m.s.Err()
+}
+
+// LoadTiles copies a dense in-core matrix into the store through the
+// tile path (see LoadFunc). It panics if the sizes differ.
+func (m *Matrix) LoadTiles(src *matrix.Dense[float64]) error {
+	if src.N() != m.n {
+		panic("ooc: LoadTiles size mismatch")
+	}
+	return m.LoadFunc(src.At)
+}
+
 // Unload copies the matrix back into a fresh dense matrix, surfacing
 // the store's first I/O error.
 func (m *Matrix) Unload() (*matrix.Dense[float64], error) {
@@ -152,6 +191,39 @@ func (m *Matrix) Unload() (*matrix.Dense[float64], error) {
 		}
 	}
 	return out, m.s.Err()
+}
+
+// Digest returns an XXH64 digest of the matrix's logical contents,
+// read tile by tile in row-major tile order through the verified tile
+// path (per-tile sums chained into one). Two matrices with identical
+// contents and tiling produce identical digests regardless of
+// striping, compression, journaling, or crash/recovery history — the
+// bit-identical-resume check the recovery matrix relies on. Requires a
+// tile-contiguous layout.
+func (m *Matrix) Digest() (uint64, error) {
+	if m.tiling == nil {
+		return 0, fmt.Errorf("ooc: Digest needs a tile-contiguous layout (use MortonTiledLayout)")
+	}
+	side := m.tiling.Side
+	nt := m.n / side
+	buf := make([]byte, side*side*8)
+	sums := make([]byte, 0, nt*nt*8)
+	var sumb [8]byte
+	for ti := 0; ti < nt; ti++ {
+		for tj := 0; tj < nt; tj++ {
+			t, err := m.s.PinTile(m.TileOffset(ti, tj), side)
+			if err != nil {
+				return 0, err
+			}
+			for i, v := range t.Data {
+				binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+			}
+			m.s.UnpinTile(t, false)
+			binary.LittleEndian.PutUint64(sumb[:], Checksum(buf))
+			sums = append(sums, sumb[:]...)
+		}
+	}
+	return Checksum(sums), m.s.Err()
 }
 
 // Rect is a rows×cols float64 region of a Store in row-major order; it

@@ -1,6 +1,7 @@
 package ooc
 
 import (
+	"errors"
 	"fmt"
 
 	"gep/internal/core"
@@ -18,16 +19,52 @@ import (
 // quadrants the I-GEP recursion touches, in recursion order, so the
 // §4.1 transfer accounting is unchanged — only the per-element CPU
 // overhead and the compute/transfer serialization go away.
+//
+// Because core.RunIGEP visits base-case blocks in a deterministic
+// order, "number of completed blocks" is a complete progress cursor:
+// a durable store checkpointed every CheckpointEvery blocks can, after
+// a crash, re-enter the same recursion with StartBlock set to the
+// recovered frontier and skip the finished prefix without any I/O —
+// the resumed run is bit-identical to an uninterrupted one.
+
+// ErrStopped is returned by RunIGEP when RunOptions.StopAfter ended
+// the run early — the crash-drill hook; the store is deliberately
+// left unsynced (pair with Store.Abandon to simulate a kill).
+var ErrStopped = errors.New("ooc: run stopped at requested block")
 
 // RunOptions configures RunIGEP.
 type RunOptions struct {
 	// Prefetch enables background read-ahead of the next blocks' tiles
-	// (issued after each block's pins, bounded by the store's task
-	// pool; see Store.PrefetchTile for the best-effort semantics).
+	// (issued after each block's pins, bounded by the store's
+	// per-stripe slots; see Store.PrefetchTile for the best-effort
+	// semantics).
 	Prefetch bool
 	// Lookahead is how many upcoming blocks to prefetch tiles for
 	// (0 means the default of 2). Ignored unless Prefetch is set.
 	Lookahead int
+
+	// CheckpointEvery, when positive, commits a durable sync point
+	// (Store.Checkpoint, tagged with the completed-block count) every
+	// that many base-case blocks, plus one final checkpoint at
+	// completion. Requires a durable store (CreateAt/Open).
+	CheckpointEvery int64
+	// StartBlock skips the first StartBlock base-case blocks — the
+	// resume path: pass the frontier Store.Recover reported. Skipped
+	// blocks cost no I/O.
+	StartBlock int64
+	// StopAfter, when positive, aborts the run with ErrStopped once
+	// that many blocks have completed (counting skipped ones) WITHOUT
+	// syncing the store — the crash-drill hook for recovery tests.
+	StopAfter int64
+	// OnCheckpoint, when set, is called after each committed sync
+	// point with its tag (the completed-block count). The oocrun
+	// subcommand uses it to announce kill points.
+	OnCheckpoint func(blocks int64)
+	// Stop, when set, is polled before each block; returning true
+	// aborts the run with ErrStopped, leaving the store unsynced like
+	// StopAfter does. The job server maps runtime aborts (cancel,
+	// deadline) onto it.
+	Stop func() bool
 }
 
 // coordinate of a tile in the quadrant grid.
@@ -37,14 +74,18 @@ type tcoord struct{ r, c int }
 // tile-granular I/O. m must use a tile-contiguous layout
 // (MortonTiledLayout); the base-case size is the layout's tile side.
 // Results are bit-identical to the in-core core.RunIGEP on the same
-// input. The first error from any layer — pin, kernel staging,
-// write-behind, final sync — aborts the remaining work (the recursion
-// still unwinds, but every subsequent block is consumed as a no-op)
-// and is returned.
+// input — including runs checkpointed, killed, recovered, and resumed
+// via RunOptions.StartBlock. The first error from any layer — pin,
+// kernel staging, write-behind, checkpoint, final sync — aborts the
+// remaining work (the recursion still unwinds, but every subsequent
+// block is consumed as a no-op) and is returned.
 func RunIGEP(m *Matrix, op core.Op[float64], set core.UpdateSet, opts RunOptions) error {
 	tl := m.Tiling()
 	if tl == nil {
 		return fmt.Errorf("ooc: RunIGEP needs a tile-contiguous layout (use MortonTiledLayout)")
+	}
+	if opts.CheckpointEvery > 0 && m.s.jr == nil {
+		return errNotDurable
 	}
 	side := tl.Side
 	look := opts.Lookahead
@@ -55,10 +96,15 @@ func RunIGEP(m *Matrix, op core.Op[float64], set core.UpdateSet, opts RunOptions
 	if opts.Prefetch {
 		blocks = core.IGEPBlocks(m.N(), side, set, true)
 	}
-	pos := 0
+	pos := int64(0)
 	var runErr error
 	hook := func(i0, j0, k0, s int) bool {
 		if runErr != nil {
+			pos++
+			return true
+		}
+		if opts.Stop != nil && opts.Stop() {
+			runErr = ErrStopped
 			pos++
 			return true
 		}
@@ -69,10 +115,24 @@ func RunIGEP(m *Matrix, op core.Op[float64], set core.UpdateSet, opts RunOptions
 			pos++
 			return true
 		}
+		if pos < opts.StartBlock {
+			pos++
+			return true
+		}
 		runErr = runBlock(m, op, set, i0, j0, k0, s)
 		pos++
+		if runErr == nil && opts.CheckpointEvery > 0 && pos%opts.CheckpointEvery == 0 {
+			runErr = m.s.Checkpoint(pos)
+			if runErr == nil && opts.OnCheckpoint != nil {
+				opts.OnCheckpoint(pos)
+			}
+		}
+		if runErr == nil && opts.StopAfter > 0 && pos >= opts.StopAfter {
+			runErr = ErrStopped
+			return true
+		}
 		if runErr == nil && opts.Prefetch {
-			for _, b := range lookaheadBlocks(blocks, pos, look) {
+			for _, b := range lookaheadBlocks(blocks, int(pos), look) {
 				for _, cd := range blockTileCoords(b.I/side, b.J/side, b.K/side) {
 					m.PrefetchTile(cd.r, cd.c)
 				}
@@ -82,6 +142,16 @@ func RunIGEP(m *Matrix, op core.Op[float64], set core.UpdateSet, opts RunOptions
 	}
 	core.RunIGEP[float64](m, op, set,
 		core.WithBaseSize[float64](side), core.WithBaseCase[float64](hook))
+	if errors.Is(runErr, ErrStopped) {
+		// Crash drill: leave the store unsynced on purpose.
+		return runErr
+	}
+	if runErr == nil && opts.CheckpointEvery > 0 && pos%opts.CheckpointEvery != 0 {
+		runErr = m.s.Checkpoint(pos)
+		if runErr == nil && opts.OnCheckpoint != nil {
+			opts.OnCheckpoint(pos)
+		}
+	}
 	if err := m.s.SyncTiles(); runErr == nil {
 		runErr = err
 	}

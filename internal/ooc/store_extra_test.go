@@ -137,7 +137,7 @@ func TestCloseRemovesOwnedFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.WriteFloat(0, 7)
-	name := s.f.Name()
+	name := s.files[0].Name()
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}

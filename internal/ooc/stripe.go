@@ -1,0 +1,105 @@
+package ooc
+
+import "os"
+
+// Striping: the store's logical byte space is cut into fixed
+// StripeUnit chunks dealt round-robin across the backing files, RAID-0
+// style: chunk c lives in file c mod S at physical offset
+// (c div S)·unit. With S = 1 the mapping is the identity and every
+// transfer is a single segment, so the legacy single-file layout is
+// the degenerate case rather than a separate code path.
+//
+// The unit of parallelism is the stripe, not the transfer: each stripe
+// has its own write-behind in-flight slots (tile.go), sized so S
+// background writers can be on S files at once, and a tile is throttled
+// by the slot of its home stripe — the stripe owning its first byte —
+// which round-robins across files for consecutive tile indexes in a
+// tile-contiguous layout. A transfer that spans a chunk boundary is
+// simply split into per-stripe segments by readRaw/writeRaw; each
+// segment retries independently under the fault/backoff policy of
+// fault.go and counts one ooc.stripe.{read,write} segment.
+
+const defaultStripeUnit = 1 << 16
+
+// stripeOf returns the stripe index owning byte offset off.
+func (s *Store) stripeOf(off int64) int {
+	if len(s.files) == 1 {
+		return 0
+	}
+	return int((off / int64(s.cfg.StripeUnit)) % int64(len(s.files)))
+}
+
+// stripeSpan resolves the longest prefix of [off, off+n) that lives
+// contiguously in one stripe file: the stripe index, the physical
+// offset there, and the prefix length.
+func (s *Store) stripeSpan(off, n int64) (stripe int, phys, span int64) {
+	if len(s.files) == 1 {
+		return 0, off, n
+	}
+	unit := int64(s.cfg.StripeUnit)
+	c := off / unit
+	within := off % unit
+	span = unit - within
+	if span > n {
+		span = n
+	}
+	return int(c % int64(len(s.files))), (c/int64(len(s.files)))*unit + within, span
+}
+
+// readRaw fills buf from logical offset off, segment by segment.
+// Unwritten regions read as zero (the stripe files are sparse).
+func (s *Store) readRaw(buf []byte, off int64) error {
+	for len(buf) > 0 {
+		st, phys, span := s.stripeSpan(off, int64(len(buf)))
+		if err := s.readAtFile(s.files[st], buf[:span], phys, off); err != nil {
+			return err
+		}
+		stripeReadCount.Inc()
+		buf = buf[span:]
+		off += span
+	}
+	return nil
+}
+
+// writeRaw writes buf at logical offset off, segment by segment.
+func (s *Store) writeRaw(buf []byte, off int64) error {
+	for len(buf) > 0 {
+		st, phys, span := s.stripeSpan(off, int64(len(buf)))
+		if err := s.writeAtFile(s.files[st], buf[:span], phys, off); err != nil {
+			return err
+		}
+		stripeWriteCount.Inc()
+		buf = buf[span:]
+		off += span
+	}
+	return nil
+}
+
+// syncFiles fsyncs every stripe file (the durability barrier between
+// the journal-apply step and the journal reset; see journal.go).
+func (s *Store) syncFiles() error {
+	for _, f := range s.files {
+		if err := f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// closeFiles closes every stripe file and (when the store owns them)
+// removes them, keeping the first error.
+func (s *Store) closeFiles(remove bool) error {
+	var first error
+	for _, f := range s.files {
+		name := f.Name()
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		if remove {
+			if err := os.Remove(name); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

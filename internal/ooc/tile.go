@@ -2,10 +2,9 @@ package ooc
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
-
-	"gep/internal/par"
 )
 
 // Tile-granular caching: the second, coarser regime of the store. The
@@ -21,14 +20,18 @@ import (
 // mirroring §4.1's accounting of one block transfer per block moved —
 // overlapping the transfer with compute changes wall-clock time, not
 // the transfer count, so the Figure 7 I/O-complexity story is
-// unchanged by the asynchrony.
+// unchanged by the asynchrony. Compression splits each transfer's
+// size into logical (always side²·8, what §4.1 counts) and physical
+// (the encoded payload, what the disk moves); the transfer count
+// itself never changes.
 //
-// Coherence with the page cache is conservative and simple, because
-// the two regimes never interleave finely in practice (tiles during a
-// run, elements during Load/Unload/verification): pinning or
-// prefetching a tile first flushes and drops every page overlapping
-// its bytes, and any element access while tiles are resident first
-// runs SyncTiles.
+// Every tile payload that leaves RAM is checksummed (meta.go) and, on
+// a durable store, journaled (journal.go) instead of written home;
+// every fault-in verifies the recorded checksum and surfaces a
+// mismatch as *CorruptError. Coherence with the page cache stays
+// conservative: pinning or prefetching a tile first flushes and drops
+// every page overlapping its bytes, and element accesses route
+// through the tile path whenever a checksummed tile covers them.
 
 // Tile is a pinned, resident quadrant of a store: Side()² float64
 // values in row-major order in Data. A Tile is valid between the
@@ -65,17 +68,19 @@ type pendingIO struct {
 
 // tileCache is the tile half of a Store. All fields are owned by the
 // driver goroutine; background tasks touch only their own buffers, the
-// store's atomic counters, and the err field of their own pendingIO.
+// store's atomic counters, the metadata table (which has its own
+// lock), the journal (likewise), and the err field of their own
+// pendingIO.
 type tileCache struct {
 	budget      int64 // resident-byte budget (Config.CacheSize)
-	writeBehind int   // in-flight cap; <= 0 means synchronous
+	writeBehind int   // per-stripe in-flight cap; <= 0 means synchronous
 
 	tiles      map[int64]*Tile
 	head, tail *Tile // unpinned-LRU, MRU at head
 	bytes      int64 // resident bytes, pinned and unpinned
 
 	pending  map[int64]*pendingIO // in-flight write-backs by offset
-	inflight chan struct{}        // slots shared by write-behind and prefetch
+	inflight []chan struct{}      // per-stripe slots, shared by write-behind and prefetch
 	waits    []func()             // joins for every task spawned since the last sync
 }
 
@@ -85,7 +90,10 @@ func (c *tileCache) init(cfg Config) {
 	c.tiles = make(map[int64]*Tile)
 	c.pending = make(map[int64]*pendingIO)
 	if cfg.WriteBehind > 0 {
-		c.inflight = make(chan struct{}, cfg.WriteBehind)
+		c.inflight = make([]chan struct{}, cfg.Stripes)
+		for i := range c.inflight {
+			c.inflight[i] = make(chan struct{}, cfg.WriteBehind)
+		}
 	}
 }
 
@@ -227,10 +235,15 @@ func (s *Store) UnpinTile(t *Tile, dirty bool) {
 	}
 }
 
+// slot returns the in-flight slot channel of the stripe owning off.
+func (c *tileCache) slot(s *Store, off int64) chan struct{} {
+	return c.inflight[s.stripeOf(off)]
+}
+
 // PrefetchTile starts a background read of the quadrant at off so a
 // later PinTile finds it resident. It is speculative and best-effort:
-// it never blocks on a full task pool and never evicts resident data
-// to make room — when either would be needed, the prefetch is skipped
+// it never blocks on a full slot and never evicts resident data to
+// make room — when either would be needed, the prefetch is skipped
 // (counted by ooc.prefetch.skip). Failures are equally silent; the
 // eventual PinTile re-reads synchronously and reports them.
 func (s *Store) PrefetchTile(off int64, side int) {
@@ -252,8 +265,9 @@ func (s *Store) PrefetchTile(off int64, side int) {
 		s.setErr(err)
 		return
 	}
+	slot := s.tc.slot(s, off)
 	select {
-	case s.tc.inflight <- struct{}{}:
+	case slot <- struct{}{}:
 	default:
 		prefetchSkipCount.Inc()
 		return
@@ -263,8 +277,8 @@ func (s *Store) PrefetchTile(off int64, side int) {
 	s.tc.tiles[off] = t
 	s.tc.bytes += size
 	s.tc.pushLRU(t)
-	p.wait = par.Spawn(func() {
-		defer func() { <-s.tc.inflight }()
+	p.wait = s.spawn(func() {
+		defer func() { <-slot }()
 		p.err = s.readTile(t)
 	})
 	s.tc.waits = append(s.tc.waits, p.wait)
@@ -331,23 +345,32 @@ func (s *Store) makeRoom(need int64) error {
 	return nil
 }
 
-// writeBehindTile schedules the evicted tile's write-back. The tile is
-// already out of the cache, so the background task owns its buffer
-// exclusively. With asynchrony disabled the write happens inline.
+// writeBehindTile schedules the evicted tile's write-back on the slot
+// of its home stripe. The tile is already out of the cache, so the
+// background task owns its buffer exclusively. With asynchrony
+// disabled the write happens inline.
 func (s *Store) writeBehindTile(t *Tile) error {
 	if s.tc.writeBehind <= 0 {
 		return s.writeTile(t)
 	}
+	slot := s.tc.slot(s, t.off)
 	for {
 		select {
-		case s.tc.inflight <- struct{}{}:
+		case slot <- struct{}{}:
 		default:
-			// Task pool full: join the oldest outstanding task — the
-			// join executes it in place if it is still queued — and
-			// retry. This bounds the driver's RAM overshoot to
-			// WriteBehind tiles without ever blocking on an idle pool
-			// (every slot holder is in waits, so draining always frees
-			// a slot eventually).
+			if len(s.tc.waits) == 0 {
+				// Slots full with nothing left to join: the slots were
+				// leaked by spawns whose bodies an aborted runtime
+				// dropped before releasing them. Write inline rather
+				// than spin.
+				return s.writeTile(t)
+			}
+			// This stripe's slots are full: join the oldest outstanding
+			// task — the join executes it in place if it is still
+			// queued — and retry. This bounds the driver's RAM overshoot
+			// to Stripes×WriteBehind tiles without ever blocking on an
+			// idle pool (every slot holder is in waits, so draining
+			// always frees a slot eventually).
 			s.drainOne()
 			continue
 		}
@@ -355,8 +378,8 @@ func (s *Store) writeBehindTile(t *Tile) error {
 	}
 	p := &pendingIO{}
 	s.tc.pending[t.off] = p
-	p.wait = par.Spawn(func() {
-		defer func() { <-s.tc.inflight }()
+	p.wait = s.spawn(func() {
+		defer func() { <-slot }()
 		if err := s.writeTile(t); err != nil {
 			p.err = err
 			s.setErr(err)
@@ -377,21 +400,30 @@ func (s *Store) drainOne() {
 }
 
 // SyncTiles drains every background task, writes every dirty unpinned
-// resident tile back, and evicts all unpinned tiles, returning the
-// first error of the whole drain. After a successful SyncTiles the
-// backing file plus the page cache hold the complete current state, so
-// the element API reads coherently. Tiles still pinned stay resident
-// and are NOT written (their Data may be mid-update); the runtime
-// never syncs with pins outstanding.
+// resident tile back, and evicts all unpinned tiles, returning every
+// error of the whole drain joined into one (errors.Join) — a
+// multi-stripe failure reports every failed stripe, and errors.Is
+// still matches the individual causes. After a successful SyncTiles
+// the backing files (or, on a durable store, files plus journal) hold
+// the complete current state. Tiles still pinned stay resident and are
+// NOT written (their Data may be mid-update); the runtime never syncs
+// with pins outstanding.
 func (s *Store) SyncTiles() error {
-	var first error
+	return s.syncTiles(true)
+}
+
+// syncTiles is SyncTiles with eviction optional: Checkpoint drains and
+// writes back but keeps clean tiles resident, so a checkpoint does not
+// empty the cache mid-run.
+func (s *Store) syncTiles(evict bool) error {
+	var errs []error
 	for _, w := range s.tc.waits {
 		w()
 	}
 	s.tc.waits = s.tc.waits[:0]
 	for off, p := range s.tc.pending {
-		if p.err != nil && first == nil {
-			first = p.err
+		if p.err != nil {
+			errs = append(errs, p.err)
 		}
 		delete(s.tc.pending, off)
 	}
@@ -404,20 +436,28 @@ func (s *Store) SyncTiles() error {
 			// invalid but clean — dropping it is the whole cleanup.
 			t.loading = nil
 			t.dirty = false
-		}
-		if t.dirty {
-			if err := s.writeTile(t); err != nil && first == nil {
-				first = err
+			if !evict {
+				s.tc.drop(t)
+				continue
 			}
 		}
-		delete(s.tc.tiles, off)
-		s.tc.bytes -= t.bytes()
+		if t.dirty {
+			if err := s.writeTile(t); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		if evict {
+			delete(s.tc.tiles, off)
+			s.tc.bytes -= t.bytes()
+		}
 	}
-	s.tc.head, s.tc.tail = nil, nil
-	for _, t := range s.tc.tiles { // pinned survivors keep LRU out
-		t.prev, t.next = nil, nil
+	if evict {
+		s.tc.head, s.tc.tail = nil, nil
+		for _, t := range s.tc.tiles { // pinned survivors keep LRU out
+			t.prev, t.next = nil, nil
+		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // syncForElement keeps the element API coherent with the tile cache:
@@ -433,34 +473,106 @@ func (s *Store) syncForElement() error {
 // ResidentTiles returns the number of tiles currently resident.
 func (s *Store) ResidentTiles() int { return len(s.tc.tiles) }
 
-// readTile fills t.Data from disk (one modeled tile transfer).
+// readTile fills t.Data from disk (one modeled tile transfer),
+// verifying the recorded checksum and decompressing when the payload
+// is compressed. Quadrants never written through the tile path have
+// no metadata and read raw (zero-filled past EOF, like pages).
 func (s *Store) readTile(t *Tile) error {
-	n := len(t.Data) * 8
-	buf := make([]byte, n)
-	if err := s.readAt(buf, t.off); err != nil {
-		return err
+	logical := int64(len(t.Data)) * 8
+	m, ok := s.meta.get(t.off)
+	var buf []byte
+	if ok {
+		raw, err := s.readTilePayload(t.off, m)
+		if err != nil {
+			return err
+		}
+		buf = raw
+		s.stats.tileBytesRead.Add(int64(m.physLen))
+	} else {
+		buf = make([]byte, logical)
+		if err := s.readRaw(buf, t.off); err != nil {
+			return err
+		}
+		s.stats.tileBytesRead.Add(logical)
 	}
 	for i := range t.Data {
 		t.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
 	}
 	s.stats.tileReads.Add(1)
-	s.stats.tileBytesRead.Add(int64(n))
+	s.stats.tileLogicalRead.Add(logical)
 	return nil
 }
 
-// writeTile writes t.Data to disk (one modeled tile transfer) and
-// marks the tile clean.
+// readTilePayload reads the physical payload recorded for the tile at
+// off — from the journal when the current version lives there, the
+// home slot otherwise — verifies its checksum, and returns the raw
+// logical bytes (decompressed when needed).
+func (s *Store) readTilePayload(off int64, m tileMeta) ([]byte, error) {
+	payload := make([]byte, m.physLen)
+	var err error
+	if m.flags&tileJournal != 0 {
+		err = s.readAtFile(s.jr.f, payload, m.jpos, off)
+		s.stats.journalBytes.Add(int64(m.physLen))
+	} else {
+		err = s.readRaw(payload, off)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if got := Checksum(payload); got != m.sum {
+		checksumFailCount.Inc()
+		s.stats.checksumFail.Add(1)
+		return nil, &CorruptError{Off: off, Side: m.side, Stripe: s.stripeOf(off), Want: m.sum, Got: got}
+	}
+	checksumOKCount.Inc()
+	s.stats.checksumOK.Add(1)
+	if m.flags&tileCompressed == 0 {
+		return payload, nil
+	}
+	raw := make([]byte, int64(m.side)*int64(m.side)*8)
+	if err := zrleDecode(raw, payload); err != nil {
+		return nil, fmt.Errorf("ooc: tile at %d: %w", off, err)
+	}
+	return raw, nil
+}
+
+// writeTile encodes t.Data (one modeled tile transfer), checksums the
+// payload, and persists it — appended to the journal on a durable
+// store, written to the home slot otherwise — then records the tile's
+// metadata and marks it clean.
 func (s *Store) writeTile(t *Tile) error {
-	n := len(t.Data) * 8
-	buf := make([]byte, n)
+	logical := len(t.Data) * 8
+	raw := make([]byte, logical)
 	for i, v := range t.Data {
-		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
 	}
-	if err := s.writeAt(buf, t.off); err != nil {
-		return err
+	payload := raw
+	var flags uint32
+	if s.cfg.Compress {
+		if enc := zrleEncode(raw); enc != nil {
+			payload = enc
+			flags |= tileCompressed
+			compressSavedCount.Add(int64(logical - len(enc)))
+		}
 	}
+	sum := Checksum(payload)
+	m := tileMeta{side: t.side, physLen: len(payload), flags: flags, sum: sum}
+	if s.jr != nil {
+		jpos, err := s.jr.appendTile(s, t.off, t.side, flags, sum, payload)
+		if err != nil {
+			return err
+		}
+		m.flags |= tileJournal
+		m.jpos = jpos
+	} else {
+		if err := s.writeRaw(payload, t.off); err != nil {
+			return err
+		}
+	}
+	s.meta.put(t.off, m)
 	s.stats.tileWrites.Add(1)
-	s.stats.tileBytesWritten.Add(int64(n))
+	s.stats.tileBytesWritten.Add(int64(len(payload)))
+	s.stats.tileLogicalWritten.Add(int64(logical))
 	t.dirty = false
 	return nil
 }

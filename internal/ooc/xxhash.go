@@ -1,0 +1,79 @@
+package ooc
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Pure-Go XXH64 (Collet's xxHash, 64-bit variant, seed 0). The store
+// checksums every tile payload and every journal record with it: it is
+// the fastest non-cryptographic hash that is practical to implement
+// dependency-free (the container bakes in no third-party modules), and
+// its 64-bit state pipeline runs at several GB/s even without
+// assembly — negligible next to the disk transfers it guards.
+// Verified against the reference vectors in xxhash_test.go.
+
+const (
+	xxPrime1 = 11400714785074694791
+	xxPrime2 = 14029467366897019727
+	xxPrime3 = 1609587929392839161
+	xxPrime4 = 9650029242287828579
+	xxPrime5 = 2870177450012600261
+)
+
+// Checksum returns the XXH64 hash (seed 0) of b — the checksum the
+// store writes beside every tile and journal record. Exported so tools
+// (gep-bench oocrun) can compute comparable content digests.
+func Checksum(b []byte) uint64 {
+	n := len(b)
+	var h uint64
+	if n >= 32 {
+		var v1, v2, v3, v4 uint64 = xxPrime1, xxPrime2, 0, 0
+		v1 += xxPrime2
+		v4 -= xxPrime1
+		for len(b) >= 32 {
+			v1 = xxRound(v1, binary.LittleEndian.Uint64(b))
+			v2 = xxRound(v2, binary.LittleEndian.Uint64(b[8:]))
+			v3 = xxRound(v3, binary.LittleEndian.Uint64(b[16:]))
+			v4 = xxRound(v4, binary.LittleEndian.Uint64(b[24:]))
+			b = b[32:]
+		}
+		h = bits.RotateLeft64(v1, 1) + bits.RotateLeft64(v2, 7) +
+			bits.RotateLeft64(v3, 12) + bits.RotateLeft64(v4, 18)
+		h = xxMerge(h, v1)
+		h = xxMerge(h, v2)
+		h = xxMerge(h, v3)
+		h = xxMerge(h, v4)
+	} else {
+		h = xxPrime5
+	}
+	h += uint64(n)
+	for len(b) >= 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(b))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+		b = b[8:]
+	}
+	if len(b) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(b)) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		b = b[4:]
+	}
+	for _, c := range b {
+		h ^= uint64(c) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}
+
+func xxRound(acc, x uint64) uint64 {
+	return bits.RotateLeft64(acc+x*xxPrime2, 31) * xxPrime1
+}
+
+func xxMerge(h, v uint64) uint64 {
+	return (h^xxRound(0, v))*xxPrime1 + xxPrime4
+}

@@ -59,20 +59,27 @@ func writeErr(w http.ResponseWriter, err error) {
 }
 
 // handleOps describes the submittable operations: their admission
-// constraints and, where an op has selectable algorithms, the engine
-// names the "engine" field accepts — multiply advertises
-// "strassen": true so clients can feature-detect the sub-cubic path.
+// constraints, the engine names the "engine" field accepts where an op
+// has selectable algorithms — multiply advertises "strassen": true so
+// clients can feature-detect the sub-cubic path — and "ooc": true on
+// ops that accept a "storage" object (the durable out-of-core path).
+// The top-level "capabilities" list lets clients feature-detect server
+// facilities that cut across ops; "durability" means StorageSpec jobs
+// run on checksummed, journaled striped stores.
 func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{}
 	for name, op := range ops {
-		info := map[string]any{"pow2": op.pow2, "needs_n": op.needsN}
+		info := map[string]any{"pow2": op.pow2, "needs_n": op.needsN, "ooc": op.ooc}
 		if len(op.engines) > 0 {
 			info["engines"] = op.engines
 			info["strassen"] = slices.Contains(op.engines, "strassen")
 		}
 		out[name] = info
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ops": out})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ops":          out,
+		"capabilities": []string{"durability"},
+	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {

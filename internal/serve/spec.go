@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"gep/internal/apsp"
+	"gep/internal/core"
 	"gep/internal/dp"
 	"gep/internal/linalg"
 	"gep/internal/matrix"
@@ -54,6 +55,11 @@ type Spec struct {
 	// it starts running; 0 takes the server default, values above the
 	// server cap are rejected.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// Storage, when present, runs the job out-of-core on a durable
+	// striped store (checksummed tiles, write-ahead journal) instead
+	// of in-RAM matrices; see StorageSpec. Only ops advertising
+	// "ooc": true on GET /v1/ops accept it.
+	Storage *StorageSpec `json:"storage,omitempty"`
 }
 
 // Result is a finished job's payload: the JSON body of
@@ -80,13 +86,14 @@ type Result struct {
 var ops = map[string]struct {
 	pow2    bool // n must be a power of two
 	needsN  bool
+	ooc     bool     // accepts a StorageSpec (durable out-of-core path)
 	engines []string // selectable algorithms; empty = no engine field
 	execute func(spec *Spec, rt *par.Runtime) (*Result, error)
 }{
-	"multiply":    {pow2: true, needsN: true, engines: []string{"classical", "strassen"}, execute: execMultiply},
-	"lu":          {pow2: true, needsN: true, execute: execLU},
-	"gauss":       {pow2: true, needsN: true, execute: execGauss},
-	"apsp":        {pow2: true, needsN: true, execute: execAPSP},
+	"multiply":    {pow2: true, needsN: true, ooc: true, engines: []string{"classical", "strassen"}, execute: execMultiply},
+	"lu":          {pow2: true, needsN: true, ooc: true, execute: execLU},
+	"gauss":       {pow2: true, needsN: true, ooc: true, execute: execGauss},
+	"apsp":        {pow2: true, needsN: true, ooc: true, execute: execAPSP},
 	"closure":     {needsN: true, execute: execClosure},
 	"matrixchain": {execute: execMatrixChain},
 }
@@ -134,6 +141,26 @@ func (s *Spec) validate(maxN int) error {
 		if !slices.Contains(op.engines, s.Engine) {
 			return fmt.Errorf("unknown engine %q for op %q (want %s)",
 				s.Engine, s.Op, strings.Join(op.engines, " or "))
+		}
+	}
+	if st := s.Storage; st != nil {
+		if !st.OutOfCore {
+			return fmt.Errorf(`storage requires "out_of_core": true (omit storage for in-core execution)`)
+		}
+		if !op.ooc {
+			return fmt.Errorf("op %q does not support out-of-core storage", s.Op)
+		}
+		if st.Stripes < 0 || st.Stripes > storageMaxStripes {
+			return fmt.Errorf("storage.stripes must be in [0, %d], got %d", storageMaxStripes, st.Stripes)
+		}
+		if st.TileSide != 0 && (st.TileSide < 8 || !matrix.IsPow2(st.TileSide)) {
+			return fmt.Errorf("storage.tile_side must be 0 or a power of two >= 8, got %d", st.TileSide)
+		}
+		if st.CacheBytes < 0 {
+			return fmt.Errorf("storage.cache_bytes must be >= 0, got %d", st.CacheBytes)
+		}
+		if st.CheckpointEvery < 0 {
+			return fmt.Errorf("storage.checkpoint_every must be >= 0, got %d", st.CheckpointEvery)
 		}
 	}
 	return nil
@@ -210,6 +237,20 @@ func execMultiply(s *Spec, rt *par.Runtime) (*Result, error) {
 	} else {
 		a, b = randMatrix(s.N, s.Seed, false), randMatrix(s.N, s.Seed+1, false)
 	}
+	if s.Storage != nil {
+		// Crossover n = purely classical tile loop (bit-identical to
+		// the fused in-core engine); 32 matches the in-core Strassen
+		// crossover so both engines agree bit-for-bit.
+		crossover := s.N
+		if s.Engine == "strassen" {
+			crossover = 32
+		}
+		c, err := runDurableMultiply(s.Storage, rt, a, b, crossover)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Data: finite(c)}, nil
+	}
 	c := matrix.NewSquare[float64](s.N)
 	if s.Engine == "strassen" {
 		// Crossover 32 rather than the wall-clock-tuned default so
@@ -231,12 +272,26 @@ func inPlaceInput(s *Spec) *matrix.Dense[float64] {
 
 func execLU(s *Spec, rt *par.Runtime) (*Result, error) {
 	m := inPlaceInput(s)
+	if s.Storage != nil {
+		out, err := runDurableGEP(s.Storage, rt, m, core.LUFactor[float64]{}, core.LU{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Data: finite(out)}, nil
+	}
 	linalg.LUFusedParallelOn(rt, m, execBase, execGrain)
 	return &Result{Data: finite(m)}, nil
 }
 
 func execGauss(s *Spec, rt *par.Runtime) (*Result, error) {
 	m := inPlaceInput(s)
+	if s.Storage != nil {
+		out, err := runDurableGEP(s.Storage, rt, m, core.GaussElim[float64]{}, core.Gaussian{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Data: finite(out)}, nil
+	}
 	linalg.GaussFusedParallelOn(rt, m, execBase, execGrain)
 	return &Result{Data: finite(m)}, nil
 }
@@ -262,6 +317,13 @@ func execAPSP(s *Spec, rt *par.Runtime) (*Result, error) {
 	} else {
 		g := apsp.Random(s.N, 0.25, 100, s.Seed)
 		d = g.DistanceMatrix()
+	}
+	if s.Storage != nil {
+		out, err := runDurableGEP(s.Storage, rt, d, core.MinPlus[float64]{}, core.Full{})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Data: finite(out)}, nil
 	}
 	apsp.FWFusedParallelOn(rt, d, execBase, execGrain)
 	return &Result{Data: finite(d)}, nil

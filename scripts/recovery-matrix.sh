@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Crash-recovery matrix: SIGKILL a real `gep-bench oocrun` child at
+# journal sync points and assert the recovered + resumed run produces a
+# bit-identical result (same content digest as an uninterrupted run).
+#
+#   scripts/recovery-matrix.sh --fast   kill at 3 sync points (PR gate)
+#   scripts/recovery-matrix.sh --full   kill at EVERY sync point, plus a
+#                                       fault-injection leg (nightly)
+#
+# Set GEP_BENCH to reuse a prebuilt binary; otherwise one is built.
+set -euo pipefail
+
+mode="${1:---fast}"
+case "$mode" in
+--fast | --full) ;;
+*)
+	echo "usage: $0 [--fast|--full]" >&2
+	exit 2
+	;;
+esac
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+bin="${GEP_BENCH:-}"
+if [[ -z "$bin" ]]; then
+	bin="$workdir/gep-bench"
+	echo "building gep-bench..."
+	go build -o "$bin" ./cmd/gep-bench
+fi
+
+fail() {
+	echo "FAIL: $*" >&2
+	exit 1
+}
+
+# run_case NAME ARGS... : golden run, then kill/resume at sync points.
+run_case() {
+	local name="$1"
+	shift
+	local golden="$workdir/$name-golden"
+	echo "== $name: golden run"
+	"$bin" oocrun -dir "$golden" "$@" >"$workdir/$name-golden.log" ||
+		fail "$name: golden run failed"
+	local want
+	want="$(awk '/^DIGEST/{print $2}' "$workdir/$name-golden.log")"
+	[[ -n "$want" ]] || fail "$name: golden run printed no digest"
+	mapfile -t syncs < <(awk '/^SYNC/{print $2}' "$workdir/$name-golden.log")
+	((${#syncs[@]} >= 3)) || fail "$name: only ${#syncs[@]} sync points; geometry too coarse"
+
+	local points=("${syncs[@]}")
+	if [[ "$mode" == --fast ]]; then
+		# First (just the load), one mid-run, and the last sync point.
+		points=("${syncs[0]}" "${syncs[$((${#syncs[@]} / 2))]}" "${syncs[$((${#syncs[@]} - 1))]}")
+	fi
+
+	local p dir pid got
+	for p in "${points[@]}"; do
+		dir="$workdir/$name-kill$p"
+		: >"$dir.log"
+		"$bin" oocrun -dir "$dir" -hold "$p" "$@" >"$dir.log" &
+		pid=$!
+		# Wait for the child to park at the sync point, then kill it cold.
+		local waited=0
+		until grep -q '^HOLD' "$dir.log"; do
+			kill -0 "$pid" 2>/dev/null || fail "$name: child died before HOLD $p (log: $(cat "$dir.log"))"
+			sleep 0.1
+			waited=$((waited + 1))
+			((waited < 1200)) || fail "$name: timed out waiting for HOLD $p"
+		done
+		kill -9 "$pid"
+		wait "$pid" 2>/dev/null || true
+
+		"$bin" oocrun -dir "$dir" -resume "$@" >"$dir-resume.log" ||
+			fail "$name: resume after kill at sync $p failed ($(tail -1 "$dir-resume.log" 2>/dev/null))"
+		got="$(awk '/^DIGEST/{print $2}' "$dir-resume.log")"
+		[[ "$got" == "$want" ]] ||
+			fail "$name: kill at sync $p: resumed digest $got != golden $want"
+		echo "ok $name sync=$p $(awk '/^RECOVER/{print}' "$dir-resume.log")"
+	done
+}
+
+common=(-n 128 -tile 16 -checkpoint 8 -cache 262144 -stripes 3 -seed 42)
+
+run_case lu "${common[@]}" -op lu
+if [[ "$mode" == --full ]]; then
+	run_case gauss "${common[@]}" -op gauss -compress
+	run_case fw "${common[@]}" -op fw
+	# Transient-fault leg: every 97th raw transfer fails once and is
+	# retried; recovery must still be exact.
+	run_case lu-faults "${common[@]}" -op lu -faults 97
+else
+	run_case gauss-compress "${common[@]}" -op gauss -compress
+fi
+
+echo "recovery matrix ($mode): all digests bit-identical"
