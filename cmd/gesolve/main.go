@@ -1,20 +1,24 @@
 // Command gesolve solves a dense linear system A·x = b with
-// cache-oblivious LU decomposition (I-GEP, no pivoting).
+// cache-oblivious LU decomposition.
 //
 // Usage:
 //
-//	gesolve [-base n] [-algo igep|tiled|gep] < system.txt
+//	gesolve [-base n] [-algo igep|tiled|gep] [-pivot none|partial|tournament] < system.txt
 //	gesolve -random n [-seed s] [-algo ...]
 //
 // Input format: a line with n, then n lines of n matrix entries, then
 // one line of n right-hand-side entries. The solution vector and the
-// max-norm residual are printed. The matrix must be factorizable
-// without pivoting (e.g. diagonally dominant); gesolve reports the
-// residual so ill-suited inputs are visible.
+// max-norm residual are printed. With -pivot none (the default) the
+// matrix must be factorizable without pivoting (e.g. diagonally
+// dominant) and gesolve reports the residual so ill-suited inputs are
+// visible; -pivot partial (scalar GEPP oracle) and -pivot tournament
+// (communication-avoiding CALU) accept any nonsingular matrix and
+// report singular ones.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -28,7 +32,8 @@ import (
 
 func main() {
 	base := flag.Int("base", 64, "I-GEP base-case / tile size")
-	algo := flag.String("algo", "igep", "factorization: igep, tiled or gep")
+	algo := flag.String("algo", "igep", "factorization: igep, tiled or gep (ignored with -pivot)")
+	pivot := flag.String("pivot", "none", "row pivoting: none, partial or tournament")
 	random := flag.Int("random", 0, "solve a random diagonally dominant n×n system instead of reading stdin")
 	seed := flag.Int64("seed", 1, "seed for -random")
 	flag.Parse()
@@ -40,30 +45,53 @@ func main() {
 	}
 	n := a.N()
 
-	// The I-GEP factorization needs a power-of-two side: pad with an
-	// identity block, which leaves the leading system unchanged.
-	work := a.Clone()
-	padded := work
-	if !matrix.IsPow2(n) && *algo == "igep" {
-		padded = matrix.PadPow2Diag(work, 0, 1)
-	}
-	switch *algo {
-	case "igep":
-		linalg.LUIGEP(padded, *base)
-	case "tiled":
-		linalg.LUTiled(padded, *base)
-	case "gep":
-		linalg.LUGEPOpt(padded)
+	var x []float64
+	switch *pivot {
+	case "partial", "tournament":
+		var f *linalg.LUP
+		if *pivot == "partial" {
+			f, err = linalg.Factor(a)
+		} else {
+			f, err = linalg.FactorCAParallel(a)
+		}
+		if err != nil {
+			if errors.Is(err, linalg.ErrSingular) {
+				fmt.Fprintf(os.Stderr, "gesolve: matrix is singular to working precision (%v)\n", err)
+				os.Exit(3)
+			}
+			fmt.Fprintf(os.Stderr, "gesolve: %v\n", err)
+			os.Exit(1)
+		}
+		x = f.Solve(b)
+	case "none":
+		// The I-GEP factorization needs a power-of-two side: pad with
+		// an identity block, which leaves the leading system unchanged.
+		work := a.Clone()
+		padded := work
+		if !matrix.IsPow2(n) && *algo == "igep" {
+			padded = matrix.PadPow2Diag(work, 0, 1)
+		}
+		switch *algo {
+		case "igep":
+			linalg.LUIGEP(padded, *base)
+		case "tiled":
+			linalg.LUTiled(padded, *base)
+		case "gep":
+			linalg.LUGEPOpt(padded)
+		default:
+			fmt.Fprintf(os.Stderr, "gesolve: unknown -algo %q\n", *algo)
+			os.Exit(2)
+		}
+		lu := padded
+		if padded.N() != n {
+			lu = matrix.Crop(padded, n)
+		}
+		x = linalg.SolveLU(lu, b)
 	default:
-		fmt.Fprintf(os.Stderr, "gesolve: unknown -algo %q\n", *algo)
+		fmt.Fprintf(os.Stderr, "gesolve: unknown -pivot %q\n", *pivot)
 		os.Exit(2)
 	}
-	lu := padded
-	if padded.N() != n {
-		lu = matrix.Crop(padded, n)
-	}
 
-	x := linalg.SolveLU(lu, b)
 	parts := make([]string, n)
 	for i, v := range x {
 		parts[i] = strconv.FormatFloat(v, 'g', -1, 64)

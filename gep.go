@@ -320,6 +320,31 @@ func Solve(a *Matrix[float64], b []float64) []float64 {
 	return linalg.SolveLU(a, b)
 }
 
+// ErrSingular reports a (numerically) singular matrix from FactorCA
+// or the other pivoted solvers; match with errors.Is.
+var ErrSingular = linalg.ErrSingular
+
+// PivotedLU is a P·A = L·U factorization with partial or tournament
+// pivoting: Solve and Det consume it, Perm maps factored row index to
+// original row index.
+type PivotedLU = linalg.LUP
+
+// FactorCA computes P·A = L·U with communication-avoiding tournament
+// pivoting (CALU): pivot rows are chosen per block column by a
+// reduction tree of small partial-pivoted factorizations, and the
+// O(n³) trailing updates run through the cache-oblivious fused kernel
+// tier. a is not modified; any side length is accepted. Singular
+// input returns an error wrapping ErrSingular. See DESIGN.md §17.
+func FactorCA(a *Matrix[float64]) (*PivotedLU, error) {
+	return linalg.FactorCA(a)
+}
+
+// FactorCAParallel is FactorCA with the tournament and the trailing
+// updates forked on the work-stealing runtime.
+func FactorCAParallel(a *Matrix[float64]) (*PivotedLU, error) {
+	return linalg.FactorCAParallel(a)
+}
+
 // Invert returns A⁻¹ via cache-oblivious LU; a is not modified. The
 // matrix must be invertible without pivoting.
 func Invert(a *Matrix[float64]) *Matrix[float64] { return linalg.Invert(a) }
@@ -358,10 +383,12 @@ func TransitiveClosurePackedParallel(reach *BitMatrix) {
 
 // SolveGF2 solves A·x = b over GF(2) (XOR linear systems) with
 // partial pivoting, word-parallel; a is not modified. ok is false
-// exactly when the system is inconsistent; free variables of
+// exactly when the system is inconsistent (linalg.SolveGF2 reports the
+// same condition as an error wrapping ErrSingular); free variables of
 // underdetermined systems are set to false.
 func SolveGF2(a *BitMatrix, b []bool) (x []bool, ok bool) {
-	return linalg.SolveGF2(a, b)
+	x, err := linalg.SolveGF2(a, b)
+	return x, err == nil
 }
 
 // RankGF2 returns the rank of a over GF(2); a is not modified.

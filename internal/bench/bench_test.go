@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig7a", "fig7b", "ooc", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "incore", "scaling", "gf2",
 		"ablation-base", "ablation-layout", "ablation-prune", "ablation-grain",
-		"lemma31", "bounds", "bounds2", "serve",
+		"lemma31", "bounds", "bounds2", "serve", "pivot",
 	}
 	for _, name := range want {
 		if _, ok := Get(name); !ok {

@@ -394,6 +394,128 @@ func mulTile4x4[T Real](x []T, xs int, u []T, us int, v []T, vs int, xi, xj, k0,
 	}
 }
 
+// MulSub is the multiply-subtract op: f(x,u,v,w) = x − u·v with the
+// product rounded before the subtraction (two roundings, as with
+// MulAdd). It is the Schur-complement update C −= L·U that blocked
+// factorizations with pivoting (linalg.FactorCA) issue against
+// disjoint panels, expressed as an engine op so the trailing update
+// keeps the fused kernel tier and its counters. The disjoint kernel
+// mirrors MulAdd's: a 4×4 register-tiled micro-kernel on fully covered
+// blocks, a 4-way unrolled rank-1 loop otherwise.
+type MulSub[T Real] struct{}
+
+// Func implements Op.
+func (MulSub[T]) Func() UpdateFunc[T] {
+	return func(_, _, _ int, x, u, v, _ T) T {
+		t := u * v
+		return x - t
+	}
+}
+
+// DisjointKernel implements DisjointKerneler; see MulAdd.DisjointKernel
+// for the dispatch structure it mirrors.
+func (MulSub[T]) DisjointKernel(x []T, xs int, u []T, us int, v []T, vs int, _ []T, _ int, rg Ranger, xi, xj, k0, s int) bool {
+	if rg == nil {
+		return false
+	}
+	if s%4 == 0 && blockCovered(rg, xi, xj, k0, s) {
+		mulSubTile4x4(x, xs, u, us, v, vs, xi, xj, k0, s)
+		return true
+	}
+	for k := k0; k < k0+s; k++ {
+		vk := v[k*vs:]
+		for i := xi; i < xi+s; i++ {
+			lo, hi := rg.JRange(i, k)
+			if lo < xj {
+				lo = xj
+			}
+			if hi > xj+s {
+				hi = xj + s
+			}
+			if lo >= hi {
+				continue
+			}
+			xr := x[i*xs:]
+			ui := u[i*us+k]
+			j := lo
+			for ; j+3 < hi; j += 4 {
+				t0 := ui * vk[j]
+				xr[j] -= t0
+				t1 := ui * vk[j+1]
+				xr[j+1] -= t1
+				t2 := ui * vk[j+2]
+				xr[j+2] -= t2
+				t3 := ui * vk[j+3]
+				xr[j+3] -= t3
+			}
+			for ; j < hi; j++ {
+				t := ui * vk[j]
+				xr[j] -= t
+			}
+		}
+	}
+	return true
+}
+
+// mulSubTile4x4 is mulTile4x4 with subtracting accumulators:
+// X[4×4] −= U[4×s]·V[s×4].
+func mulSubTile4x4[T Real](x []T, xs int, u []T, us int, v []T, vs int, xi, xj, k0, s int) {
+	for i := xi; i < xi+s; i += 4 {
+		x0, x1, x2, x3 := x[i*xs:], x[(i+1)*xs:], x[(i+2)*xs:], x[(i+3)*xs:]
+		u0, u1, u2, u3 := u[i*us:], u[(i+1)*us:], u[(i+2)*us:], u[(i+3)*us:]
+		for j := xj; j < xj+s; j += 4 {
+			c00, c01, c02, c03 := x0[j], x0[j+1], x0[j+2], x0[j+3]
+			c10, c11, c12, c13 := x1[j], x1[j+1], x1[j+2], x1[j+3]
+			c20, c21, c22, c23 := x2[j], x2[j+1], x2[j+2], x2[j+3]
+			c30, c31, c32, c33 := x3[j], x3[j+1], x3[j+2], x3[j+3]
+			for k := k0; k < k0+s; k++ {
+				vk := v[k*vs:]
+				b0, b1, b2, b3 := vk[j], vk[j+1], vk[j+2], vk[j+3]
+				a := u0[k]
+				t0 := a * b0
+				c00 -= t0
+				t1 := a * b1
+				c01 -= t1
+				t2 := a * b2
+				c02 -= t2
+				t3 := a * b3
+				c03 -= t3
+				a = u1[k]
+				t0 = a * b0
+				c10 -= t0
+				t1 = a * b1
+				c11 -= t1
+				t2 = a * b2
+				c12 -= t2
+				t3 = a * b3
+				c13 -= t3
+				a = u2[k]
+				t0 = a * b0
+				c20 -= t0
+				t1 = a * b1
+				c21 -= t1
+				t2 = a * b2
+				c22 -= t2
+				t3 = a * b3
+				c23 -= t3
+				a = u3[k]
+				t0 = a * b0
+				c30 -= t0
+				t1 = a * b1
+				c31 -= t1
+				t2 = a * b2
+				c32 -= t2
+				t3 = a * b3
+				c33 -= t3
+			}
+			x0[j], x0[j+1], x0[j+2], x0[j+3] = c00, c01, c02, c03
+			x1[j], x1[j+1], x1[j+2], x1[j+3] = c10, c11, c12, c13
+			x2[j], x2[j+1], x2[j+2], x2[j+3] = c20, c21, c22, c23
+			x3[j], x3[j+1], x3[j+2], x3[j+3] = c30, c31, c32, c33
+		}
+	}
+}
+
 // GaussElim is the Gaussian-elimination op:
 // f(x,u,v,w) = x - (u/w)·v, two roundings after the division exactly as
 // in Func. The fused kernel hoists the multiplier m = u/w out of the j
@@ -591,6 +713,7 @@ var (
 	_ DisjointKerneler[float64] = MinPlus[float64]{}
 	_ BlockKerneler[int64]      = MulAdd[int64]{}
 	_ DisjointKerneler[int64]   = MulAdd[int64]{}
+	_ DisjointKerneler[float64] = MulSub[float64]{}
 	_ BlockKerneler[float64]    = GaussElim[float64]{}
 	_ BlockKerneler[float64]    = LUFactor[float64]{}
 	_ BlockKerneler[bool]       = Closure{}

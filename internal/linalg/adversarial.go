@@ -1,0 +1,120 @@
+package linalg
+
+import "gep/internal/matrix"
+
+// Adversarial fixtures for the pivoting path: matrices on which
+// unpivoted elimination is unstable (or outright undefined) while a
+// pivoted factorization stays accurate. They are exported so the
+// linalg oracle tests and the bench `pivot` experiment measure the
+// same inputs; see EXPERIMENTS.md ("pivot").
+
+// Wilkinson returns the classic growth matrix: unit diagonal, −1
+// strictly below it, +1 in the last column. Partial pivoting performs
+// no swaps on it and the last column doubles at every step, so element
+// growth reaches 2^(n−1) — the worst case for GEPP. It stresses both
+// the pivoted and the unpivoted path equally (the pivot order is
+// identical); use it to check they agree, not to separate them.
+func Wilkinson(n int) *matrix.Dense[float64] {
+	a := matrix.NewSquare[float64](n)
+	a.Apply(func(i, j int, _ float64) float64 {
+		switch {
+		case i == j:
+			return 1
+		case j == n-1:
+			return 1
+		case i > j:
+			return -1
+		default:
+			return 0
+		}
+	})
+	return a
+}
+
+// TinyPivot returns a strictly diagonally dominant matrix with one
+// poisoned entry: a[0][0] = 1e−18. Unpivoted elimination divides the
+// whole first column by it (multipliers ~10¹⁸) and the factorization
+// explodes; any pivoted path swaps row 0 away and solves to machine
+// precision.
+func TinyPivot(n int) *matrix.Dense[float64] {
+	a := matrix.NewSquare[float64](n)
+	a.Apply(func(i, j int, _ float64) float64 {
+		if i == j {
+			return float64(n) + 2
+		}
+		// Deterministic off-diagonal pattern in (−1, 1).
+		return float64((i*31+j*17)%19-9) / 10
+	})
+	a.Set(0, 0, 1e-18)
+	return a
+}
+
+// SignAlternating returns εI + s·sᵀ − I with s[i] = (−1)^i and
+// ε = 1e−14: every off-diagonal entry is ±1 and every diagonal entry
+// is ε. Its eigenvalues are ε−1 (n−1 of them) and ε−1+n, so it is well
+// conditioned for moderate n — but every leading pivot of the
+// unpivoted path is ε, giving multipliers of ±10¹⁴ at the very first
+// column and garbage factors. A pivoted path swaps freely and stays at
+// machine precision.
+func SignAlternating(n int) *matrix.Dense[float64] {
+	a := matrix.NewSquare[float64](n)
+	a.Apply(func(i, j int, _ float64) float64 {
+		if i == j {
+			return 1e-14
+		}
+		if (i+j)%2 == 0 {
+			return 1
+		}
+		return -1
+	})
+	return a
+}
+
+// NearSingular returns a diagonally dominant matrix whose last row is
+// the sum of its first two rows plus a δ = 1e−8 diagonal perturbation:
+// numerically rank-deficient to about 8 digits but still factorable.
+// Pivoted solves keep a small residual (the factorization is backward
+// stable even when x itself is sensitive); it is the conditioning
+// stress in the fixture set.
+func NearSingular(n int) *matrix.Dense[float64] {
+	a := matrix.NewSquare[float64](n)
+	a.Apply(func(i, j int, _ float64) float64 {
+		if i == j {
+			return float64(n) + 1
+		}
+		return float64((i*13+j*7)%11-5) / 10
+	})
+	if n >= 3 {
+		r0, r1, rl := a.Row(0), a.Row(1), a.Row(n-1)
+		for j := 0; j < n; j++ {
+			rl[j] = r0[j] + r1[j]
+		}
+		rl[n-1] += 1e-8
+	}
+	return a
+}
+
+// AdversarialFixture names one fixture matrix; Adversarial enumerates
+// them for table-driven tests and the bench experiment.
+type AdversarialFixture struct {
+	Name string
+	// Make builds the n×n instance.
+	Make func(n int) *matrix.Dense[float64]
+	// Separates reports whether the fixture is expected to separate
+	// pivoted from unpivoted elimination (residual oracle): true for
+	// the tiny-pivot and sign-alternating families, false for
+	// Wilkinson (same pivot order either way) and the conditioning
+	// stress.
+	Separates bool
+}
+
+// Adversarial returns the fixture set shared by the FactorCA residual
+// tests, the Factor/LUIGEP differential tests and exp_pivot.
+func Adversarial() []AdversarialFixture {
+	return []AdversarialFixture{
+		{Name: "wilkinson", Make: Wilkinson, Separates: false},
+		{Name: "tinypivot", Make: TinyPivot, Separates: true},
+		{Name: "signalt", Make: SignAlternating, Separates: true},
+		{Name: "nearsing", Make: NearSingular, Separates: false},
+	}
+}

@@ -64,14 +64,14 @@ func gf2Opts(base, tableWidth int) []core.Option[bool] {
 	return opts
 }
 
-// SolveGF2 solves A·x = b over GF(2) and reports whether a solution
-// exists. a is not modified; b must have a.N() entries. When the
-// system is underdetermined the free variables are set to false, so
-// the returned x is one solution of possibly many; ok is false exactly
-// when the system is inconsistent. Pivoting is by row swap (partial
-// pivoting — over GF(2) any nonzero pivot is exact), so unlike the
-// GEP-path eliminators any matrix is accepted.
-func SolveGF2(a *matrix.Bits, b []bool) (x []bool, ok bool) {
+// SolveGF2 solves A·x = b over GF(2). a is not modified; b must have
+// a.N() entries. When the system is underdetermined the free variables
+// are set to false, so the returned x is one solution of possibly
+// many; an inconsistent system returns an error wrapping ErrSingular
+// (match with errors.Is) that carries the rank. Pivoting is by row
+// swap (partial pivoting — over GF(2) any nonzero pivot is exact), so
+// unlike the GEP-path eliminators any matrix is accepted.
+func SolveGF2(a *matrix.Bits, b []bool) ([]bool, error) {
 	n := a.N()
 	if len(b) != n {
 		panic(fmt.Sprintf("linalg: SolveGF2 got %d-vector for %dx%d system", len(b), n, n))
@@ -87,14 +87,15 @@ func SolveGF2(a *matrix.Bits, b []bool) (x []bool, ok bool) {
 	// augmented column.
 	for r := len(pivots); r < n; r++ {
 		if m.At(r, n) {
-			return nil, false
+			return nil, fmt.Errorf("linalg: GF(2) system inconsistent (rank %d of %d): %w",
+				len(pivots), n, ErrSingular)
 		}
 	}
-	x = make([]bool, n)
+	x := make([]bool, n)
 	for r, c := range pivots {
 		x[c] = m.At(r, n)
 	}
-	return x, true
+	return x, nil
 }
 
 // RankGF2 returns the rank of a over GF(2); a is not modified.

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -120,9 +121,9 @@ func TestSolveGF2Invertible(t *testing.T) {
 			want[i] = rng.Intn(2) == 1
 		}
 		b := MulVecGF2(a, want)
-		x, ok := SolveGF2(a, b)
-		if !ok {
-			t.Fatalf("n=%d: invertible system reported inconsistent", n)
+		x, err := SolveGF2(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: invertible system reported inconsistent: %v", n, err)
 		}
 		for i := range want {
 			if x[i] != want[i] {
@@ -152,9 +153,9 @@ func TestSolveGF2SingularConsistentAndNot(t *testing.T) {
 		xs[i] = rng.Intn(2) == 1
 	}
 	b := MulVecGF2(a, xs) // consistent by construction
-	x, ok := SolveGF2(a, b)
-	if !ok {
-		t.Fatal("consistent singular system reported inconsistent")
+	x, err := SolveGF2(a, b)
+	if err != nil {
+		t.Fatalf("consistent singular system reported inconsistent: %v", err)
 	}
 	back := MulVecGF2(a, x)
 	for i := range b {
@@ -164,8 +165,10 @@ func TestSolveGF2SingularConsistentAndNot(t *testing.T) {
 	}
 	// Break consistency: b must satisfy b[n-1] = b[0] ⊕ b[1]; flip it.
 	b[n-1] = !b[n-1]
-	if _, ok := SolveGF2(a, b); ok {
+	if _, err := SolveGF2(a, b); err == nil {
 		t.Fatal("inconsistent system reported solvable")
+	} else if !errors.Is(err, ErrSingular) {
+		t.Fatalf("inconsistency error %v does not wrap ErrSingular", err)
 	}
 }
 

@@ -1,7 +1,9 @@
 package linalg
 
 import (
+	"errors"
 	"fmt"
+	"math"
 
 	"gep/internal/matrix"
 )
@@ -14,8 +16,19 @@ import (
 // matrices, and as the correctness oracle that defines when the
 // pivot-free cache-oblivious path is safe to use.
 
+// ErrSingular reports a (numerically) singular matrix. Factor,
+// FactorCA and SolveGF2 wrap it with position detail; match with
+// errors.Is(err, ErrSingular).
+var ErrSingular = errors.New("matrix is singular")
+
 // LUP holds a P·A = L·U factorization: LU packs the factors in place
 // and Perm maps factored row index to original row index.
+//
+// The zero value (and a nil *LUP, as returned by a failed Factor
+// alongside its error) is not a valid factorization: Solve and Det
+// panic on it with a diagnostic rather than returning garbage. An n=0
+// factorization is valid: Solve returns an empty slice and Det returns
+// 1 (the determinant of the empty matrix).
 type LUP struct {
 	LU   *matrix.Dense[float64]
 	Perm []int
@@ -24,7 +37,11 @@ type LUP struct {
 }
 
 // Factor computes P·A = L·U with partial pivoting; a is not modified.
-// It returns an error on exact singularity.
+// It returns an error wrapping ErrSingular when a column's best pivot
+// is zero, non-finite, or negligible against the column's magnitude
+// (n·ε·max|column|) — the threshold keeps denormal-pivot matrices from
+// silently producing Inf factors while uniformly tiny but
+// well-conditioned matrices still factor.
 func Factor(a *matrix.Dense[float64]) (*LUP, error) {
 	n := a.N()
 	lu := a.Clone()
@@ -34,15 +51,28 @@ func Factor(a *matrix.Dense[float64]) (*LUP, error) {
 	}
 	swaps := 0
 	for k := 0; k < n; k++ {
-		// Pivot: largest |c[i][k]| for i >= k.
+		// The singularity threshold is scaled by the column's
+		// magnitude in the *input* (the updated column's max is the
+		// pivot itself, so scaling by it would be circular): a column
+		// that elimination cancels down to denormals is singular to
+		// working precision even though its best entry is nonzero.
+		colMax := 0.0
+		for i := 0; i < n; i++ {
+			if v := abs(a.At(i, k)); v > colMax || math.IsNaN(v) {
+				colMax = v
+			}
+		}
+		// Pivot: largest |c[i][k]| for i >= k. A NaN column entry
+		// makes colMax (hence the tolerance) NaN, and NaN is never
+		// > tol, so poisoned columns fail the check below.
 		p, best := k, abs(lu.At(k, k))
 		for i := k + 1; i < n; i++ {
 			if v := abs(lu.At(i, k)); v > best {
 				p, best = i, v
 			}
 		}
-		if best == 0 {
-			return nil, fmt.Errorf("linalg: singular at column %d", k)
+		if !(best > pivotTol(n, colMax)) || math.IsInf(best, 0) {
+			return nil, singularAt(k)
 		}
 		if p != k {
 			rp, rk := lu.Row(p), lu.Row(k)
@@ -66,8 +96,11 @@ func Factor(a *matrix.Dense[float64]) (*LUP, error) {
 	return &LUP{LU: lu, Perm: perm, Swaps: swaps}, nil
 }
 
-// Solve solves A·x = b using the pivoted factors.
+// Solve solves A·x = b using the pivoted factors. It panics on an
+// invalid receiver (nil, or the zero value left by a failed Factor)
+// and on a length mismatch; an n=0 system returns an empty slice.
 func (f *LUP) Solve(b []float64) []float64 {
+	f.check("Solve")
 	n := f.LU.N()
 	if len(b) != n {
 		panic(fmt.Sprintf("linalg: LUP.Solve got %d-vector for %dx%d system", len(b), n, n))
@@ -80,8 +113,11 @@ func (f *LUP) Solve(b []float64) []float64 {
 	return SolveLU(f.LU, pb)
 }
 
-// Det returns det(A) from the pivoted factors.
+// Det returns det(A) from the pivoted factors. It panics on an
+// invalid receiver (nil, or the zero value left by a failed Factor);
+// the determinant of the empty (n=0) matrix is 1.
 func (f *LUP) Det() float64 {
+	f.check("Det")
 	det := 1.0
 	for i := 0; i < f.LU.N(); i++ {
 		det *= f.LU.At(i, i)
@@ -92,25 +128,47 @@ func (f *LUP) Det() float64 {
 	return det
 }
 
+// check panics with a diagnostic when f is not a usable factorization
+// (a nil receiver, or the zero value a caller kept after Factor
+// returned an error). It also rejects a Perm whose length disagrees
+// with LU, which no constructor in this package produces.
+func (f *LUP) check(method string) {
+	switch {
+	case f == nil || f.LU == nil:
+		panic("linalg: LUP." + method + " on invalid factorization (did Factor return an error?)")
+	case len(f.Perm) != f.LU.N():
+		panic(fmt.Sprintf("linalg: LUP.%s: Perm length %d does not match %dx%d LU",
+			method, len(f.Perm), f.LU.N(), f.LU.N()))
+	}
+}
+
 // NeedsPivoting reports whether pivot-free elimination of a is
 // numerically risky: it runs a trial factorization and reports true if
-// any pivot-free pivot is zero or any multiplier exceeds the given
-// growth bound (e.g. 16). It is the guard a caller can use to pick
-// between the cache-oblivious pivot-free path (LUIGEP) and Factor.
+// any pivot-free pivot is zero or non-finite, or any multiplier is
+// non-finite or exceeds the given growth bound (e.g. 16). It is the
+// guard a caller can use to pick between the cache-oblivious
+// pivot-free path (LUIGEP) and Factor.
 func NeedsPivoting(a *matrix.Dense[float64], growth float64) bool {
 	n := a.N()
 	lu := a.Clone()
 	for k := 0; k < n; k++ {
 		ck := lu.Row(k)
 		piv := ck[k]
-		if piv == 0 {
+		// A NaN or ±Inf pivot (poisoned input, or blowup from an
+		// earlier update) makes the trial meaningless — the pivot-free
+		// path would propagate it, so it needs pivoting (or rejection)
+		// by definition. Note NaN fails both m > g and m < -g, so the
+		// range check alone would be NaN-blind.
+		if piv == 0 || math.IsNaN(piv) || math.IsInf(piv, 0) {
 			return true
 		}
 		inv := 1 / piv
 		for i := k + 1; i < n; i++ {
 			ci := lu.Row(i)
 			m := ci[k] * inv
-			if m > growth || m < -growth {
+			// !(finite and within ±growth): catches NaN and ±Inf
+			// multipliers as well as plain growth-bound violations.
+			if !(m <= growth && m >= -growth) {
 				return true
 			}
 			ci[k] = m

@@ -1,6 +1,7 @@
 package linalg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -113,4 +114,139 @@ func TestLUPSolveValidation(t *testing.T) {
 		}
 	}()
 	f.Solve([]float64{1})
+}
+
+// TestNeedsPivotingNonFinite: regression for the NaN-blind guard — a
+// non-finite pivot or multiplier fails both m > growth and m < -growth,
+// so the old range check reported poisoned matrices safe for the
+// pivot-free path.
+func TestNeedsPivotingNonFinite(t *testing.T) {
+	cases := []struct {
+		name string
+		rows [][]float64
+	}{
+		{"nan pivot", [][]float64{{math.NaN(), 1}, {1, 1}}},
+		{"inf pivot", [][]float64{{math.Inf(1), 1}, {1, 1}}},
+		{"neg inf pivot", [][]float64{{math.Inf(-1), 1}, {1, 1}}},
+		{"nan multiplier", [][]float64{{1, 1}, {math.NaN(), 1}}},
+		{"inf multiplier", [][]float64{{1, 1}, {math.Inf(1), 1}}},
+		// NaN away from column 0 propagates into a later pivot.
+		{"nan propagates", [][]float64{{4, math.NaN(), 0}, {1, 4, 0}, {0, 1, 4}}},
+		// Finite but huge entry: 1/1e-300 overflows the multiplier to
+		// +Inf without any non-finite input value.
+		{"overflowing multiplier", [][]float64{{1e-300, 1}, {1e300, 1}}},
+	}
+	for _, tc := range cases {
+		a := matrix.FromRows(tc.rows)
+		if !NeedsPivoting(a, 16) {
+			t.Errorf("%s: reported safe for the pivot-free path", tc.name)
+		}
+	}
+}
+
+// TestFactorErrSingular: the sentinel must be match-able with
+// errors.Is and carry the offending column in the message.
+func TestFactorErrSingular(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	_, err := Factor(a)
+	if err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("Factor error %v does not wrap ErrSingular", err)
+	}
+	// Zero matrix: singular at column 0.
+	if _, err := Factor(matrix.NewSquare[float64](3)); !errors.Is(err, ErrSingular) {
+		t.Fatalf("zero matrix error %v does not wrap ErrSingular", err)
+	}
+}
+
+// TestFactorThresholdAware: a column whose entries cancel to values
+// negligible against the input column's magnitude must be reported
+// singular instead of dividing by a denormal and producing Inf
+// factors. The old check accepted any exactly-nonzero pivot.
+func TestFactorThresholdAware(t *testing.T) {
+	// Column 1 cancels from magnitude 1e16 down to 2 — far below
+	// n·ε·1e16 ≈ 6.7, i.e. singular to working precision. The old
+	// exact-zero check accepted the pivot 2 and returned garbage
+	// factors silently.
+	a := matrix.FromRows([][]float64{
+		{1e16, 1e16, 0},
+		{1e16, 1e16 + 2, 1},
+		{1e16, 1e16 - 2, 2},
+	})
+	_, err := Factor(a)
+	if err == nil {
+		t.Fatal("numerically singular matrix accepted")
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("error %v does not wrap ErrSingular", err)
+	}
+	// Same cancellation at denormal scale: the surviving pivot
+	// (~1.7e-310) is subnormal and 1/pivot overflows, so the old path
+	// silently produced Inf factors.
+	d := matrix.FromRows([][]float64{
+		{1e-294, 1e-294, 0},
+		{1e-294, 1e-294 + 1e-310, 1},
+		{1e-294, 1e-294 - 1e-310, 2},
+	})
+	if _, err := Factor(d); !errors.Is(err, ErrSingular) {
+		t.Fatalf("denormal-pivot matrix: error %v does not wrap ErrSingular", err)
+	}
+	// NaN input: poisoned columns are singular, not factorable.
+	b := matrix.FromRows([][]float64{{math.NaN(), 1}, {1, 1}})
+	if _, err := Factor(b); !errors.Is(err, ErrSingular) {
+		t.Fatalf("NaN matrix: error %v does not wrap ErrSingular", err)
+	}
+	// Uniformly tiny but perfectly conditioned: must still factor
+	// (the threshold is relative to the column, not absolute).
+	c := matrix.FromRows([][]float64{{1e-300, 0}, {0, 1e-300}})
+	f, err := Factor(c)
+	if err != nil {
+		t.Fatalf("tiny well-conditioned matrix rejected: %v", err)
+	}
+	x := f.Solve([]float64{1e-300, 2e-300})
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("x = %v, want [1 2]", x)
+	}
+}
+
+// TestLUPDegenerate: the audited LUP surface — n=0 factorizations have
+// defined results, invalid receivers panic with a diagnostic.
+func TestLUPDegenerate(t *testing.T) {
+	// n=0: valid, empty solution, det of the empty matrix is 1.
+	f, err := Factor(matrix.NewSquare[float64](0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x := f.Solve(nil); len(x) != 0 {
+		t.Fatalf("n=0 Solve returned %v", x)
+	}
+	if d := f.Det(); d != 1 {
+		t.Fatalf("n=0 Det = %g, want 1", d)
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	// A failed Factor returns a nil *LUP; using it must panic with the
+	// diagnostic, not dereference garbage.
+	bad, err := Factor(matrix.FromRows([][]float64{{1, 2}, {2, 4}}))
+	if err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+	mustPanic("nil.Solve", func() { bad.Solve([]float64{1, 2}) })
+	mustPanic("nil.Det", func() { _ = bad.Det() })
+	mustPanic("zero.Solve", func() { new(LUP).Solve(nil) })
+	mustPanic("zero.Det", func() { _ = new(LUP).Det() })
+	mustPanic("mismatched perm", func() {
+		f := &LUP{LU: matrix.NewSquare[float64](2), Perm: []int{0}}
+		_ = f.Det()
+	})
 }

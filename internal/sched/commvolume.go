@@ -1,0 +1,145 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// Communication-volume model for the distributed-cache regime of
+// tournament-pivoted LU (linalg.FactorCA), after Kwasniewski et al.,
+// "On the Parallel I/O Optimality of Linear Algebra Kernels:
+// Near-Optimal LU Factorization" (PAPERS.md). The model places the
+// matrix block-cyclically on a pr × pc × c processor grid (c is the
+// 2.5D replication factor; c = 1 is the plain 2D decomposition) and
+// charges each processor, panel by panel, for the words it moves:
+//
+//   - Tournament: the CALU reduction tree exchanges one b×b candidate
+//     block per merge level along the pr panel-column processors.
+//   - PanelBcast: the factored panel (L21, m×b) broadcast along each
+//     processor row; with replication only every c-th panel is owned
+//     by a layer, so the per-processor share is divided by c.
+//   - RowSwap: the b pivot rows crossing the row-block boundary,
+//     n/pc words per row, shared among the pr row processors.
+//   - TrailingU: the U12 (b×q) broadcast down each processor column,
+//     divided by c like the panel broadcast.
+//   - Reduce: the 2.5D resolution step — layers combine their partial
+//     Schur updates for the next panel column before it is factored
+//     ((c−1)/c of its words), the price 2.5D pays for dividing the
+//     broadcasts.
+//
+// Summed over the n/b panels the per-processor total is
+// Θ(n²/√(cP)) + Θ((c−1)n²/P) + Θ(n·b·log pr): within a small constant
+// of the near-optimal bound n³/(P·√M) at M = c·n²/P, decreasing in c
+// until the replication (Reduce/RowSwap) terms take over — the
+// tradeoff the `pivot` bench experiment tabulates.
+
+// CALUConfig describes one simulated distributed CALU run.
+type CALUConfig struct {
+	// N is the matrix side and Panel the block-column width b.
+	N, Panel int
+	// P is the processor count and C the 2.5D replication factor
+	// (1, 2, 4, ...); C must divide P.
+	P, C int
+	// M is the per-processor fast-memory size in words for the lower
+	// bound; 0 derives the 2.5D working set c·n²/P (at least 3·b²).
+	M int64
+}
+
+// Memory returns the per-processor fast-memory size the bound uses:
+// the configured M, or the derived 2.5D working set.
+func (cfg CALUConfig) Memory() int64 {
+	if cfg.M > 0 {
+		return cfg.M
+	}
+	m := int64(cfg.C) * int64(cfg.N) * int64(cfg.N) / int64(maxInt(cfg.P, 1))
+	if floor := 3 * int64(cfg.Panel) * int64(cfg.Panel); m < floor {
+		m = floor
+	}
+	return m
+}
+
+// grid returns the pr × pc processor grid of one replication layer:
+// pr is the largest divisor of P/C not exceeding √(P/C), so the grid
+// is as square as the factorization of P/C allows.
+func (cfg CALUConfig) grid() (pr, pc int) {
+	layer := cfg.P / cfg.C
+	pr = 1
+	for d := 1; d*d <= layer; d++ {
+		if layer%d == 0 {
+			pr = d
+		}
+	}
+	return pr, layer / pr
+}
+
+// CommVolume is the simulated per-processor word traffic of one CALU
+// run, split by phase; see the package comment of this file.
+type CommVolume struct {
+	Tournament float64
+	PanelBcast float64
+	RowSwap    float64
+	TrailingU  float64
+	Reduce     float64
+}
+
+// Total returns the per-processor word traffic summed over phases.
+func (v CommVolume) Total() float64 {
+	return v.Tournament + v.PanelBcast + v.RowSwap + v.TrailingU + v.Reduce
+}
+
+// SimulateCALU walks the pivoted block schedule panel by panel and
+// returns the per-processor communication volume. It errors when the
+// configuration is degenerate (non-positive sizes, C not dividing P).
+func SimulateCALU(cfg CALUConfig) (CommVolume, error) {
+	if cfg.N <= 0 || cfg.Panel <= 0 || cfg.P <= 0 || cfg.C <= 0 {
+		return CommVolume{}, fmt.Errorf("sched: non-positive CALU config %+v", cfg)
+	}
+	if cfg.P%cfg.C != 0 {
+		return CommVolume{}, fmt.Errorf("sched: replication factor %d does not divide p=%d", cfg.C, cfg.P)
+	}
+	pr, pc := cfg.grid()
+	n, b, c := float64(cfg.N), float64(cfg.Panel), float64(cfg.C)
+	fpr, fpc := float64(pr), float64(pc)
+	depth := math.Ceil(math.Log2(fpr))
+	// A broadcast (or swap) moves words only when the grid dimension
+	// has remote peers: the average per-processor receive share is
+	// (dim-1)/dim of the payload, zero on a dimension of one — with
+	// P = C = 1 every phase is local and the volume is 0, matching a
+	// shared-memory run.
+	rowPeers := (fpc - 1) / fpc
+	colPeers := (fpr - 1) / fpr
+
+	var v CommVolume
+	for kk := 0; kk < cfg.N; kk += cfg.Panel {
+		w := math.Min(b, n-float64(kk))
+		m := n - float64(kk) - w // rows below the panel
+		q := n - float64(kk) - w // columns right of the panel
+		// Reduction tree over the pr panel-column processors: one w×w
+		// candidate block received per merge level.
+		v.Tournament += depth * w * w
+		// Factored panel (L21) broadcast along the processor row;
+		// each layer owns every c-th panel.
+		v.PanelBcast += (m / fpr) * w / c * rowPeers
+		// Pivot rows cross the block-row boundary: w rows of n/pc
+		// words, shared among the pr row processors (every layer
+		// applies the swaps to its replica).
+		v.RowSwap += w * (n / fpc) / fpr * colPeers
+		// U12 broadcast down the processor column.
+		v.TrailingU += w * (q / fpc) / c * colPeers
+		// Layers resolve their partial updates of the next panel
+		// column ((c-1)/c of its m×w words) before it factors.
+		v.Reduce += (c - 1) / c * (m / fpr) * (w / fpc)
+	}
+	return v, nil
+}
+
+// LUCommLowerBound returns the Kwasniewski et al. per-processor
+// communication lower bound for LU, n³/(P·√M) words, against which
+// SimulateCALU's totals are compared in the `pivot` experiment.
+func LUCommLowerBound(n, p int, m int64) float64 {
+	if n <= 0 || p <= 0 || m <= 0 {
+		return 0
+	}
+	fn := float64(n)
+	return fn * fn * fn / (float64(p) * math.Sqrt(float64(m)))
+}

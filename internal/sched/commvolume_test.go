@@ -1,0 +1,114 @@
+package sched
+
+import "testing"
+
+func TestSimulateCALUValidation(t *testing.T) {
+	if _, err := SimulateCALU(CALUConfig{N: 0, Panel: 32, P: 4, C: 1}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := SimulateCALU(CALUConfig{N: 256, Panel: 32, P: 8, C: 3}); err == nil {
+		t.Error("c=3 not dividing p=8 accepted")
+	}
+	if _, err := SimulateCALU(CALUConfig{N: 256, Panel: 32, P: 8, C: 2}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestSimulateCALUDeterministic(t *testing.T) {
+	cfg := CALUConfig{N: 1024, Panel: 32, P: 8, C: 2}
+	a, err := SimulateCALU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := SimulateCALU(cfg)
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSimulateCALUSingleProcessor: with one processor and no
+// replication every phase is local, so the simulated network volume
+// is exactly zero.
+func TestSimulateCALUSingleProcessor(t *testing.T) {
+	v, err := SimulateCALU(CALUConfig{N: 512, Panel: 32, P: 1, C: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Total() != 0 {
+		t.Fatalf("p=1 volume %+v, want 0", v)
+	}
+}
+
+// TestSimulateCALUReplicationTradeoff: the 2.5D story at P = 64 —
+// replication divides the broadcast traffic (strictly decreasing in
+// c), pays a replication price in Reduce/RowSwap, and still wins
+// overall at c = 4.
+func TestSimulateCALUReplicationTradeoff(t *testing.T) {
+	const n, b, p = 2048, 32, 64
+	vol := map[int]CommVolume{}
+	for _, c := range []int{1, 2, 4} {
+		v, err := SimulateCALU(CALUConfig{N: n, Panel: b, P: p, C: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol[c] = v
+	}
+	bcast := func(v CommVolume) float64 { return v.PanelBcast + v.TrailingU }
+	if !(bcast(vol[2]) < bcast(vol[1])) || !(bcast(vol[4]) < bcast(vol[2])) {
+		t.Fatalf("broadcast volume not decreasing in c: c1=%g c2=%g c4=%g",
+			bcast(vol[1]), bcast(vol[2]), bcast(vol[4]))
+	}
+	if vol[1].Reduce != 0 {
+		t.Fatalf("c=1 has a reduction phase: %g", vol[1].Reduce)
+	}
+	if !(vol[2].Reduce < vol[4].Reduce) {
+		t.Fatalf("replication price not increasing in c: c2=%g c4=%g",
+			vol[2].Reduce, vol[4].Reduce)
+	}
+	if !(vol[4].Total() < vol[1].Total()) {
+		t.Fatalf("c=4 total %g not below c=1 total %g", vol[4].Total(), vol[1].Total())
+	}
+}
+
+// TestSimulateCALUNearBound: across the experiment's sweep the
+// simulated per-processor volume stays within a factor of 4 of the
+// Kwasniewski et al. lower bound n³/(P·√M) at the derived 2.5D memory
+// M = c·n²/P — the "near-optimal" acceptance band (and above 1/20 of
+// it, i.e. the model is not trivially undercounting).
+func TestSimulateCALUNearBound(t *testing.T) {
+	const n, b = 2048, 32
+	for _, p := range []int{2, 4, 8, 16, 64} {
+		for _, c := range []int{1, 2, 4} {
+			if p%c != 0 {
+				continue
+			}
+			cfg := CALUConfig{N: n, Panel: b, P: p, C: c}
+			v, err := SimulateCALU(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := LUCommLowerBound(n, p, cfg.Memory())
+			if bound <= 0 {
+				t.Fatalf("p=%d c=%d: bound %g", p, c, bound)
+			}
+			ratio := v.Total() / bound
+			if ratio > 4 || ratio < 1.0/20 {
+				t.Errorf("p=%d c=%d: volume %g vs bound %g (ratio %.2f) outside [0.05, 4]",
+					p, c, v.Total(), bound, ratio)
+			}
+		}
+	}
+}
+
+// TestLUCommLowerBoundDegenerate: non-positive inputs return 0 rather
+// than NaN/Inf.
+func TestLUCommLowerBoundDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		n, p int
+		m    int64
+	}{{0, 4, 8}, {64, 0, 8}, {64, 4, 0}} {
+		if got := LUCommLowerBound(tc.n, tc.p, tc.m); got != 0 {
+			t.Errorf("LUCommLowerBound(%d,%d,%d) = %g, want 0", tc.n, tc.p, tc.m, got)
+		}
+	}
+}

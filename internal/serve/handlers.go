@@ -74,6 +74,9 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 			info["engines"] = op.engines
 			info["strassen"] = slices.Contains(op.engines, "strassen")
 		}
+		if len(op.pivots) > 0 {
+			info["pivots"] = op.pivots
+		}
 		out[name] = info
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

@@ -205,12 +205,25 @@ func (s *Server) runJob(j *Job) {
 
 	// The watcher maps deadline expiry or an explicit cancel onto a
 	// best-effort runtime abort, which unwinds the recursion without
-	// waiting for it to finish naturally.
+	// waiting for it to finish naturally. watchDone is closed before
+	// the cleanup cancel(), but a select between two ready channels
+	// picks randomly — so on ctx.Done the watcher re-checks watchDone
+	// before aborting, else a completed job could be aborted by its
+	// own cleanup and misreported as canceled. runJob waits for the
+	// watcher to exit before classifying, so no abort can land after
+	// the rt.Aborted() read.
 	watchDone := make(chan struct{})
+	watcherExited := make(chan struct{})
 	go func() {
+		defer close(watcherExited)
 		select {
 		case <-ctx.Done():
-			rt.Abort()
+			select {
+			case <-watchDone:
+				// Execution already finished; nothing to abort.
+			default:
+				rt.Abort()
+			}
 		case <-watchDone:
 		}
 	}()
@@ -220,6 +233,7 @@ func (s *Server) runJob(j *Job) {
 	wall := time.Since(start)
 	close(watchDone)
 	cancel()
+	<-watcherExited
 
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -234,6 +234,107 @@ func TestMultiplyEngineStrassen(t *testing.T) {
 	}
 }
 
+// TestLUTournamentPivot submits "lu" with "pivot": "tournament" and
+// checks the returned factors against the seeded input: Perm must be a
+// permutation and P·A = L·U must hold to machine precision. /v1/ops
+// must advertise the pivot strategies, and the validation paths
+// (pivot on an op without pivots, unknown strategy, tournament
+// combined with storage, singular input) must reject cleanly.
+func TestLUTournamentPivot(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, DefaultWorkers: 2, MaxWorkers: 4})
+
+	const n = 64
+	resp, v := postJob(t, ts, Spec{Op: "lu", N: n, Seed: 21, Pivot: "tournament"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit pivoted lu: status %d", resp.StatusCode)
+	}
+	if fin := waitTerminal(t, ts, v.ID); fin.Status != StatusDone {
+		t.Fatalf("pivoted lu finished %s (%s)", fin.Status, fin.Error)
+	}
+	rr, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	decodeBody(t, rr, &res)
+	if len(res.Data) != n*n || len(res.Perm) != n {
+		t.Fatalf("result shape: cells=%d perm=%d", len(res.Data), len(res.Perm))
+	}
+	seen := make([]bool, n)
+	for _, p := range res.Perm {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("perm is not a permutation: %v", res.Perm)
+		}
+		seen[p] = true
+	}
+	lu := func(i, j int) float64 {
+		c := res.Data[i*n+j]
+		if c == nil {
+			t.Fatalf("lu[%d,%d]: non-finite output", i, j)
+		}
+		return *c
+	}
+	// The seeded tournament input is the general (non-dominant) random
+	// matrix; reconstruct (L·U)[i,j] and compare to (P·A)[i,j].
+	a := randMatrix(n, 21, false)
+	for _, ij := range [][2]int{{0, 0}, {0, n - 1}, {13, 41}, {41, 13}, {n - 1, n - 1}} {
+		i, j := ij[0], ij[1]
+		sum := 0.0
+		for k := 0; k <= min(i, j); k++ {
+			l := lu(i, k)
+			if k == i {
+				l = 1
+			}
+			sum += l * lu(k, j)
+		}
+		if want := a.At(res.Perm[i], j); math.Abs(sum-want) > 1e-9 {
+			t.Fatalf("(L·U)[%d,%d] = %g, want (P·A) = %g", i, j, sum, want)
+		}
+	}
+
+	opsResp, err := http.Get(ts.URL + "/v1/ops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var caps struct {
+		Ops map[string]struct {
+			Pivots []string `json:"pivots"`
+		} `json:"ops"`
+	}
+	decodeBody(t, opsResp, &caps)
+	if got := caps.Ops["lu"].Pivots; len(got) != 2 || got[0] != "none" || got[1] != "tournament" {
+		t.Fatalf(`/v1/ops lu pivots = %v, want ["none", "tournament"]`, got)
+	}
+	if got := caps.Ops["multiply"].Pivots; got != nil {
+		t.Fatalf("/v1/ops multiply should not advertise pivots: %v", got)
+	}
+
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"pivot on multiply", Spec{Op: "multiply", N: 64, Pivot: "tournament"}},
+		{"unknown strategy", Spec{Op: "lu", N: 64, Pivot: "rook"}},
+		{"tournament with storage", Spec{Op: "lu", N: 64, Pivot: "tournament",
+			Storage: &StorageSpec{OutOfCore: true}}},
+	} {
+		if resp, _ := postJob(t, ts, tc.spec); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	// A singular explicit input fails the job rather than returning
+	// garbage factors: the error names the singularity.
+	data := make([]float64, n*n) // all-zero matrix
+	resp, v = postJob(t, ts, Spec{Op: "lu", N: n, Data: data, Pivot: "tournament"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit singular: status %d", resp.StatusCode)
+	}
+	if fin := waitTerminal(t, ts, v.ID); fin.Status != StatusFailed || !strings.Contains(fin.Error, "singular") {
+		t.Fatalf("singular input finished %s (%q), want failed with singular error", fin.Status, fin.Error)
+	}
+}
+
 // TestAdmissionControl exercises every rejection path: bad op, bad
 // size, oversized job, queue overflow, worker/deadline caps.
 func TestAdmissionControl(t *testing.T) {

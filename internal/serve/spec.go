@@ -45,6 +45,15 @@ type Spec struct {
 	// Strassen-Winograd hybrid. Only "multiply" takes an engine;
 	// unknown names and engines on other ops are rejected with a 400.
 	Engine string `json:"engine,omitempty"`
+	// Pivot selects the "lu" row-pivoting strategy: "" or "none" for
+	// the paper's pivot-free I-GEP path (input must be factorable
+	// without pivoting, e.g. diagonally dominant), "tournament" for
+	// communication-avoiding CALU (linalg.FactorCA), which accepts any
+	// nonsingular matrix and additionally returns the row permutation.
+	// Only "lu" takes a pivot; singular inputs fail the job. The
+	// strategies an op accepts are advertised as "pivots" on
+	// GET /v1/ops.
+	Pivot string `json:"pivot,omitempty"`
 	// Dims is the matrix-chain dimension vector for "matrixchain"
 	// (len(Dims) = #matrices + 1).
 	Dims []int `json:"dims,omitempty"`
@@ -77,6 +86,9 @@ type Result struct {
 	// multiplication count and an optimal parenthesization.
 	Cost  *float64 `json:"cost,omitempty"`
 	Order string   `json:"order,omitempty"`
+	// Perm is the row permutation of a pivoted "lu" job (P·A = L·U):
+	// factored row i came from input row Perm[i].
+	Perm []int `json:"perm,omitempty"`
 	// WallMS is the measured execution wall time in milliseconds.
 	WallMS float64 `json:"wall_ms"`
 }
@@ -88,10 +100,11 @@ var ops = map[string]struct {
 	needsN  bool
 	ooc     bool     // accepts a StorageSpec (durable out-of-core path)
 	engines []string // selectable algorithms; empty = no engine field
+	pivots  []string // selectable pivot strategies; empty = no pivot field
 	execute func(spec *Spec, rt *par.Runtime) (*Result, error)
 }{
 	"multiply":    {pow2: true, needsN: true, ooc: true, engines: []string{"classical", "strassen"}, execute: execMultiply},
-	"lu":          {pow2: true, needsN: true, ooc: true, execute: execLU},
+	"lu":          {pow2: true, needsN: true, ooc: true, pivots: []string{"none", "tournament"}, execute: execLU},
 	"gauss":       {pow2: true, needsN: true, ooc: true, execute: execGauss},
 	"apsp":        {pow2: true, needsN: true, ooc: true, execute: execAPSP},
 	"closure":     {needsN: true, execute: execClosure},
@@ -141,6 +154,18 @@ func (s *Spec) validate(maxN int) error {
 		if !slices.Contains(op.engines, s.Engine) {
 			return fmt.Errorf("unknown engine %q for op %q (want %s)",
 				s.Engine, s.Op, strings.Join(op.engines, " or "))
+		}
+	}
+	if s.Pivot != "" {
+		if len(op.pivots) == 0 {
+			return fmt.Errorf("op %q does not take a pivot", s.Op)
+		}
+		if !slices.Contains(op.pivots, s.Pivot) {
+			return fmt.Errorf("unknown pivot %q for op %q (want %s)",
+				s.Pivot, s.Op, strings.Join(op.pivots, " or "))
+		}
+		if s.Pivot == "tournament" && s.Storage != nil {
+			return fmt.Errorf(`pivot "tournament" is in-core only (omit storage)`)
 		}
 	}
 	if st := s.Storage; st != nil {
@@ -271,6 +296,22 @@ func inPlaceInput(s *Spec) *matrix.Dense[float64] {
 }
 
 func execLU(s *Spec, rt *par.Runtime) (*Result, error) {
+	if s.Pivot == "tournament" {
+		// Pivoting makes diagonal dominance unnecessary, so seeded
+		// inputs are general random matrices — the workload the
+		// pivot-free path cannot take.
+		var m *matrix.Dense[float64]
+		if len(s.Data) > 0 {
+			m = fromFlat(s.N, s.Data)
+		} else {
+			m = randMatrix(s.N, s.Seed, false)
+		}
+		f, err := linalg.FactorCAParallelOn(rt, m, linalg.WithPanelWidth(execBase), linalg.WithCAGrain(execGrain))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Data: finite(f.LU), Perm: f.Perm}, nil
+	}
 	m := inPlaceInput(s)
 	if s.Storage != nil {
 		out, err := runDurableGEP(s.Storage, rt, m, core.LUFactor[float64]{}, core.LU{})
